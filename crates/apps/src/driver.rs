@@ -1,0 +1,187 @@
+//! A uniform driver over the five applications, used by the benchmark
+//! harnesses to regenerate the paper's tables and figures.
+
+use midway_core::{Counters, MidwayConfig, MidwayRun, VirtualTime};
+
+use crate::{cholesky, matmul, quicksort, sor, water};
+
+/// Which benchmark application to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AppKind {
+    /// SPLASH water: medium-grained.
+    Water,
+    /// TreadMarks quicksort: medium/coarse, rebinding-heavy.
+    Quicksort,
+    /// Matrix multiply: coarse-grained, VM's best case.
+    Matmul,
+    /// Red-black SOR: medium-grained edge sharing.
+    Sor,
+    /// Sparse Cholesky: fine-grained.
+    Cholesky,
+}
+
+impl AppKind {
+    /// All five applications in the paper's presentation order.
+    pub fn all() -> [AppKind; 5] {
+        [
+            AppKind::Water,
+            AppKind::Quicksort,
+            AppKind::Matmul,
+            AppKind::Sor,
+            AppKind::Cholesky,
+        ]
+    }
+
+    /// The paper's name for the application.
+    pub fn label(self) -> &'static str {
+        match self {
+            AppKind::Water => "water",
+            AppKind::Quicksort => "quicksort",
+            AppKind::Matmul => "matrix",
+            AppKind::Sor => "sor",
+            AppKind::Cholesky => "cholesky",
+        }
+    }
+}
+
+/// Workload scale.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// The paper's input sizes (run these under `--release`).
+    Paper,
+    /// Roughly quarter-size inputs for quicker sweeps.
+    Medium,
+    /// Tiny inputs for tests.
+    Small,
+}
+
+/// Backend-erased outcome of one application run.
+#[derive(Clone, Debug)]
+pub struct AppOutcome {
+    /// Which application ran.
+    pub kind: AppKind,
+    /// The configuration used.
+    pub cfg: MidwayConfig,
+    /// Per-processor counters (Table 2's raw data).
+    pub counters: Vec<Counters>,
+    /// Finish time (max processor clock).
+    pub finish_time: VirtualTime,
+    /// Execution time in modelled seconds.
+    pub exec_secs: f64,
+    /// Application data transferred cluster-wide, in MB.
+    pub data_mb_total: f64,
+    /// Application data sent per processor, in KB (Table 2's row).
+    pub data_kb_per_proc: f64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Whether the application verified its own output.
+    pub verified: bool,
+}
+
+fn erase<R>(kind: AppKind, run: MidwayRun<R>, verified: bool) -> AppOutcome {
+    AppOutcome {
+        kind,
+        cfg: run.cfg,
+        exec_secs: run.exec_secs(),
+        data_mb_total: run.data_mb_total(),
+        data_kb_per_proc: run.data_kb_per_proc(),
+        finish_time: run.finish_time,
+        messages: run.messages,
+        counters: run.counters,
+        verified,
+    }
+}
+
+/// Runs `kind` at `scale` under `cfg`, with verification.
+///
+/// # Panics
+///
+/// Panics if the simulation itself fails (deadlock / processor panic);
+/// verification failures are reported in the outcome instead.
+pub fn run_app(kind: AppKind, cfg: MidwayConfig, scale: Scale) -> AppOutcome {
+    match kind {
+        AppKind::Water => {
+            let p = match scale {
+                Scale::Paper => water::Params::paper(),
+                Scale::Medium => water::Params {
+                    molecules: 125,
+                    steps: 3,
+                },
+                Scale::Small => water::Params::small(),
+            };
+            let run = water::run(cfg, p);
+            let ok = water::verified(&run.results);
+            erase(kind, run, ok)
+        }
+        AppKind::Quicksort => {
+            let p = match scale {
+                Scale::Paper => quicksort::Params::paper(),
+                Scale::Medium => quicksort::Params {
+                    n: 60_000,
+                    threshold: 500,
+                    seed: 1234,
+                },
+                Scale::Small => quicksort::Params::small(),
+            };
+            let run = quicksort::run(cfg, p);
+            let ok = run.results[0].sorted_ok == Some(true);
+            erase(kind, run, ok)
+        }
+        AppKind::Matmul => {
+            let p = match scale {
+                Scale::Paper => matmul::Params::paper(),
+                Scale::Medium => matmul::Params { n: 192, seed: 42 },
+                Scale::Small => matmul::Params::small(),
+            };
+            let run = matmul::run(cfg, p);
+            let ok = matmul::verified(&run.results);
+            erase(kind, run, ok)
+        }
+        AppKind::Sor => {
+            let p = match scale {
+                Scale::Paper => sor::Params::paper(),
+                Scale::Medium => sor::Params {
+                    rows: 400,
+                    cols: 400,
+                    iters: 10,
+                    seed: 7,
+                },
+                Scale::Small => sor::Params::small(),
+            };
+            let run = sor::run(cfg, p);
+            let ok = sor::verified(&run.results);
+            erase(kind, run, ok)
+        }
+        AppKind::Cholesky => {
+            let p = match scale {
+                Scale::Paper => cholesky::Params::paper(),
+                Scale::Medium => cholesky::Params { side: 16 },
+                Scale::Small => cholesky::Params::small(),
+            };
+            let run = cholesky::run(cfg, p);
+            let ok = cholesky::verified(&run.results);
+            erase(kind, run, ok)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midway_core::BackendKind;
+
+    #[test]
+    fn driver_runs_and_verifies_every_app() {
+        for kind in AppKind::all() {
+            let out = run_app(kind, MidwayConfig::new(2, BackendKind::Rt), Scale::Small);
+            assert!(out.verified, "{kind:?} failed verification");
+            assert!(out.exec_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(AppKind::Water.label(), "water");
+        assert_eq!(AppKind::all().len(), 5);
+    }
+}

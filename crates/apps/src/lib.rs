@@ -1,0 +1,31 @@
+//! The paper's five benchmark applications, ported to the Midway DSM
+//! reproduction.
+//!
+//! Each application follows the structure described in §4 of the paper:
+//!
+//! * [`water`] — N-body molecular dynamics (SPLASH), medium-grained
+//!   sharing, with the private-accumulation optimization the paper cites.
+//! * [`quicksort`] — TreadMarks parallel quicksort over 250,000 integers
+//!   with a 1000-element bubblesort threshold and dynamic lock rebinding.
+//! * [`matmul`] — 512×512 matrix multiply: coarse-grained, the expected
+//!   best case for VM-DSM and worst case for RT-DSM.
+//! * [`sor`] — red-black successive over-relaxation on a 1000×1000 grid
+//!   for 25 iterations; only partition edges are shared.
+//! * [`cholesky`] — sparse Cholesky factorization with per-column locks:
+//!   fine-grained sharing. The SPLASH input matrices are unavailable, so a
+//!   synthetic 2-D grid Laplacian (a standard sparse SPD test family) is
+//!   factored instead; see `DESIGN.md`.
+//!
+//! Every application verifies its own output (sortedness, residuals,
+//! factorization error) and returns a deterministic summary so runs can be
+//! compared across backends and processor counts.
+
+pub mod cholesky;
+pub mod matmul;
+pub mod quicksort;
+pub mod sor;
+pub mod water;
+
+mod driver;
+
+pub use driver::{run_app, AppKind, AppOutcome, Scale};

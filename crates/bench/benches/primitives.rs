@@ -1,0 +1,123 @@
+//! Host-side microbenchmarks of the substrate primitives.
+//!
+//! These measure *our implementation's* wall-clock cost (nanoseconds on
+//! the host), complementing Table 1, which holds the *modelled* costs
+//! (cycles on the simulated R3000). They exist to keep the simulator
+//! honest: the write path, scans and diffs must stay cheap enough that
+//! paper-scale workloads run in seconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use midway_core::{BackendKind, Midway, MidwayConfig, Proc, SystemBuilder};
+use midway_mem::diff::PageDiff;
+use midway_mem::{DirtyBits, LayoutBuilder, LocalStore, MemClass, StoreKind, Template};
+use midway_proto::{rt, Binding};
+use midway_stats::CostModel;
+
+fn bench_dirtybits(c: &mut Criterion) {
+    let cost = CostModel::r3000_mach();
+    let mut lb = LayoutBuilder::new();
+    let alloc = lb.alloc("x", 1 << 16, MemClass::Shared, 3);
+    let layout = lb.build();
+    let desc = layout.region_of(alloc.addr);
+    let template = Template::for_region(desc);
+    let mut bits = DirtyBits::new(desc.lines());
+
+    c.bench_function("template_invoke_doubleword", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let addr = alloc.addr + (i % 8000) * 8;
+            i += 1;
+            black_box(template.invoke(&mut bits, addr, StoreKind::Doubleword, &cost))
+        })
+    });
+
+    c.bench_function("dirtybit_scan_8k_lines", |b| {
+        let mut bits = DirtyBits::new(8192);
+        for l in (0..8192).step_by(7) {
+            bits.mark(l);
+        }
+        b.iter(|| black_box(bits.scan(0..8192, 1, 99)))
+    });
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let twin = vec![0u8; 4096];
+    let mut uniform = twin.clone();
+    uniform[100] = 1;
+    let mut alternating = twin.clone();
+    for w in (0..1024).step_by(2) {
+        alternating[w * 4] = 0xFF;
+    }
+    c.bench_function("page_diff_uniform", |b| {
+        b.iter(|| black_box(PageDiff::compute(&uniform, &twin)))
+    });
+    c.bench_function("page_diff_alternating", |b| {
+        b.iter(|| black_box(PageDiff::compute(&alternating, &twin)))
+    });
+    let diff = PageDiff::compute(&alternating, &twin);
+    c.bench_function("page_diff_apply", |b| {
+        let mut page = twin.clone();
+        b.iter(|| {
+            diff.apply(&mut page);
+            black_box(&page);
+        })
+    });
+}
+
+fn bench_rt_collect(c: &mut Criterion) {
+    let mut lb = LayoutBuilder::new();
+    let alloc = lb.alloc("x", 1 << 16, MemClass::Shared, 3);
+    let layout = lb.build();
+    let binding = Binding::new(vec![alloc.range()]);
+    c.bench_function("rt_collect_64KB_binding", |b| {
+        let mut store = LocalStore::new(Arc::clone(&layout));
+        let mut dirty = rt::DirtyMap::new(&layout);
+        for i in (0..8192).step_by(5) {
+            rt::mark_write(&mut dirty, &layout, alloc.addr + i * 8, 8);
+        }
+        let mut now = 10;
+        b.iter(|| {
+            now += 1;
+            black_box(rt::collect(
+                &mut store, &mut dirty, &layout, &binding, 1, now,
+            ))
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // A small but complete cluster run: how much host time one simulated
+    // lock hand-off costs, per backend.
+    for backend in [BackendKind::Rt, BackendKind::Vm] {
+        c.bench_function(&format!("cluster_100_handoffs_{backend:?}"), |b| {
+            b.iter(|| {
+                let mut sb = SystemBuilder::new();
+                let data = sb.shared_array::<u64>("d", 64, 1);
+                let lock = sb.lock(vec![data.full_range()]);
+                let spec = sb.build();
+                let run = Midway::run(MidwayConfig::new(2, backend), &spec, |p: &mut Proc| {
+                    for _ in 0..50 {
+                        p.acquire(lock);
+                        let v = p.read(&data, 0);
+                        p.write(&data, 0, v + 1);
+                        p.release(lock);
+                    }
+                })
+                .unwrap();
+                black_box(run.finish_time)
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_dirtybits,
+    bench_diff,
+    bench_rt_collect,
+    bench_end_to_end
+);
+criterion_main!(benches);

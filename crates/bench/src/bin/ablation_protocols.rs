@@ -1,0 +1,80 @@
+//! Ablation A1/A2: the §3.5 alternative strategies.
+//!
+//! Compares, per application: RT-DSM, VM-DSM, the "blast" strawman (no
+//! write detection; all bound data shipped on every transfer) and
+//! "twin-everything" (no trapping; every bound page twinned and diffed at
+//! every transfer). The paper argues blast "would transfer data
+//! unnecessarily when synchronization objects guard large data objects
+//! being sparsely written", and that twin-everything trades trapping for
+//! more expensive collection — "strategies that reduce the number of page
+//! faults by increasing the amount of data diffed cannot minimize the
+//! total cost of write detection".
+//!
+//! Pass `--net-sweep` to also rerun RT/VM under a 2× faster and 2× slower
+//! network, demonstrating that the RT-vs-VM ordering is insensitive to the
+//! estimated network constants.
+
+use midway_apps::{run_app, AppKind};
+use midway_bench::{banner, procs_from_args, scale_from_args};
+use midway_core::{BackendKind, MidwayConfig, NetModel};
+use midway_stats::{fmt_f64, TextTable};
+
+fn main() {
+    let scale = scale_from_args();
+    let procs = procs_from_args();
+    banner("Ablation: §3.5 alternative strategies", scale, procs);
+
+    let mut t = TextTable::new(&[
+        "App",
+        "RT (s)",
+        "VM (s)",
+        "Blast (s)",
+        "TwinAll (s)",
+        "RT MB",
+        "VM MB",
+        "Blast MB",
+        "TwinAll MB",
+    ]);
+    for app in AppKind::all() {
+        eprintln!("running {} ...", app.label());
+        let outs: Vec<_> = [
+            BackendKind::Rt,
+            BackendKind::Vm,
+            BackendKind::Blast,
+            BackendKind::TwinAll,
+        ]
+        .into_iter()
+        .map(|b| {
+            let out = run_app(app, MidwayConfig::new(procs, b), scale);
+            assert!(out.verified, "{app:?} under {b:?} failed verification");
+            out
+        })
+        .collect();
+        let mut cells = vec![app.label().to_string()];
+        cells.extend(outs.iter().map(|o| fmt_f64(o.exec_secs, 1)));
+        cells.extend(outs.iter().map(|o| fmt_f64(o.data_mb_total, 2)));
+        t.row(&cells);
+    }
+    println!("{t}");
+
+    if std::env::args().any(|a| a == "--net-sweep") {
+        println!("\n== Network sensitivity (RT vs VM execution time, s) ==");
+        let mut t = TextTable::new(&[
+            "App", "RT 0.5x", "VM 0.5x", "RT 1x", "VM 1x", "RT 2x", "VM 2x",
+        ]);
+        for app in AppKind::all() {
+            eprintln!("net-sweep {} ...", app.label());
+            let mut cells = vec![app.label().to_string()];
+            for (num, den) in [(1u64, 2u64), (1, 1), (2, 1)] {
+                for b in [BackendKind::Rt, BackendKind::Vm] {
+                    let cfg =
+                        MidwayConfig::new(procs, b).net(NetModel::atm_cluster().scaled(num, den));
+                    let out = run_app(app, cfg, scale);
+                    cells.push(fmt_f64(out.exec_secs, 1));
+                }
+            }
+            t.row(&cells);
+        }
+        println!("{t}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Wall-clock probe: how long does each paper-scale run take on the host?
+
+use std::time::Instant;
+
+use midway_apps::{run_app, AppKind, Scale};
+use midway_core::{BackendKind, MidwayConfig};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("medium") => Scale::Medium,
+        Some("small") => Scale::Small,
+        _ => Scale::Paper,
+    };
+    for kind in AppKind::all() {
+        for backend in [BackendKind::Rt, BackendKind::Vm] {
+            let t0 = Instant::now();
+            let out = run_app(kind, MidwayConfig::new(8, backend), scale);
+            let avg = midway_core::Counters::average(&out.counters);
+            println!(
+                "{:10} {:8} host {:6.1}s | sim {:8.1}s  data {:7.2} MB  msgs {:8}  verified {}",
+                kind.label(),
+                format!("{backend:?}"),
+                t0.elapsed().as_secs_f64(),
+                out.exec_secs,
+                out.data_mb_total,
+                out.messages,
+                out.verified
+            );
+            if std::env::args().any(|a| a == "-v") {
+                println!(
+                    "    set {:9.0} miscl {:4.0} clean {:9.0} dirty {:9.0} upd {:9.0} | faults {:7.0} diffed {:7.0} prot {:7.0} twinKB {:7.0} fulls {:6.0}",
+                    avg.avg(|c| c.dirtybits_set),
+                    avg.avg(|c| c.dirtybits_misclassified),
+                    avg.avg(|c| c.clean_dirtybits_read),
+                    avg.avg(|c| c.dirty_dirtybits_read),
+                    avg.avg(|c| c.dirtybits_updated),
+                    avg.avg(|c| c.write_faults),
+                    avg.avg(|c| c.pages_diffed),
+                    avg.avg(|c| c.pages_write_protected),
+                    avg.avg(|c| c.twin_bytes_updated) / 1024.0,
+                    avg.avg(|c| c.full_data_sends),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Table 3: summary of the time for write trapping.
+//!
+//! "All times are in milliseconds and are computed by measuring the costs
+//! of the primitive operations and multiplying by the average
+//! per-processor number of invocations for each application."
+
+use midway_bench::{banner, procs_from_args, run_suite, scale_from_args};
+use midway_core::{report, BackendKind, Counters};
+use midway_stats::{fmt_f64, CostModel, TextTable};
+
+fn main() {
+    let scale = scale_from_args();
+    let procs = procs_from_args();
+    banner("Table 3: write trapping time (ms)", scale, procs);
+    let suite = run_suite(scale, procs);
+    let cost = CostModel::r3000_mach();
+
+    let headers: Vec<String> = ["System", "Operation"]
+        .iter()
+        .map(|s| s.to_string())
+        .chain(suite.iter().map(|s| s.app.label().to_string()))
+        .collect();
+    let headers: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = TextTable::new(&headers).left_cols(2);
+
+    let rt: Vec<f64> = suite
+        .iter()
+        .map(|s| {
+            report::trapping_millis(BackendKind::Rt, &Counters::average(&s.rt.counters), &cost)
+        })
+        .collect();
+    let vm: Vec<f64> = suite
+        .iter()
+        .map(|s| {
+            report::trapping_millis(BackendKind::Vm, &Counters::average(&s.vm.counters), &cost)
+        })
+        .collect();
+
+    let cells = |v: &[f64]| -> Vec<String> { v.iter().map(|x| fmt_f64(*x, 1)).collect() };
+    let mut row = vec!["RT-DSM".to_string(), "write trapping time".to_string()];
+    row.extend(cells(&rt));
+    t.row(&row);
+    let mut row = vec!["VM-DSM".to_string(), "write trapping time".to_string()];
+    row.extend(cells(&vm));
+    t.row(&row);
+    t.separator();
+    let mut row = vec!["".to_string(), "RT-DSM trapping advantage".to_string()];
+    row.extend(
+        rt.iter()
+            .zip(&vm)
+            .map(|(r, v)| fmt_f64(v - r, 1))
+            .collect::<Vec<_>>(),
+    );
+    t.row(&row);
+    println!("{t}");
+    println!("\nPaper Table 3 (8 procs, paper inputs), for comparison:");
+    println!("RT: 15.6 / 79.5 / 35.4 / 125.5 /   485.3");
+    println!("VM: 309.6 / 187.2 / 88.8 / 561.6 / 3,499.2");
+}

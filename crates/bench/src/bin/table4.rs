@@ -1,0 +1,105 @@
+//! Table 4: summary of the cost for write collection, per-processor
+//! average, broken into the paper's rows.
+
+use midway_bench::{banner, procs_from_args, run_suite, scale_from_args};
+use midway_core::{report, BackendKind, Counters};
+use midway_stats::{fmt_f64, CostModel, TextTable};
+
+fn main() {
+    let scale = scale_from_args();
+    let procs = procs_from_args();
+    banner("Table 4: write collection time (ms)", scale, procs);
+    let suite = run_suite(scale, procs);
+    let cost = CostModel::r3000_mach();
+
+    let headers: Vec<String> = ["System", "Operation"]
+        .iter()
+        .map(|s| s.to_string())
+        .chain(suite.iter().map(|s| s.app.label().to_string()))
+        .collect();
+    let headers: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = TextTable::new(&headers).left_cols(2);
+
+    let rt: Vec<report::CollectionBreakdown> = suite
+        .iter()
+        .map(|s| {
+            report::collection_millis(BackendKind::Rt, &Counters::average(&s.rt.counters), &cost)
+        })
+        .collect();
+    let vm: Vec<report::CollectionBreakdown> = suite
+        .iter()
+        .map(|s| {
+            report::collection_millis(BackendKind::Vm, &Counters::average(&s.vm.counters), &cost)
+        })
+        .collect();
+
+    let push = |t: &mut TextTable, sys: &str, op: &str, vals: Vec<String>| {
+        let mut cells = vec![sys.to_string(), op.to_string()];
+        cells.extend(vals);
+        t.row(&cells);
+    };
+    let f = |v: f64| fmt_f64(v, 1);
+    push(
+        &mut t,
+        "RT-DSM",
+        "clean dirtybits read",
+        rt.iter().map(|b| f(b.rt_clean_reads_ms)).collect(),
+    );
+    push(
+        &mut t,
+        "",
+        "dirty dirtybits read",
+        rt.iter().map(|b| f(b.rt_dirty_reads_ms)).collect(),
+    );
+    push(
+        &mut t,
+        "",
+        "dirtybits updated",
+        rt.iter().map(|b| f(b.rt_updates_ms)).collect(),
+    );
+    push(
+        &mut t,
+        "",
+        "Total",
+        rt.iter().map(|b| f(b.total())).collect(),
+    );
+    t.separator();
+    push(
+        &mut t,
+        "VM-DSM",
+        "pages diffed",
+        vm.iter().map(|b| f(b.vm_diff_ms)).collect(),
+    );
+    push(
+        &mut t,
+        "",
+        "pages write protected",
+        vm.iter().map(|b| f(b.vm_protect_ms)).collect(),
+    );
+    push(
+        &mut t,
+        "",
+        "data updated in twins",
+        vm.iter().map(|b| f(b.vm_twin_ms)).collect(),
+    );
+    push(
+        &mut t,
+        "",
+        "Total",
+        vm.iter().map(|b| f(b.total())).collect(),
+    );
+    t.separator();
+    push(
+        &mut t,
+        "",
+        "RT-DSM collection advantage",
+        rt.iter()
+            .zip(&vm)
+            .map(|(r, v)| f(v.total() - r.total()))
+            .collect(),
+    );
+    println!("{t}");
+    println!("\nPaper Table 4 totals (8 procs, paper inputs), for comparison:");
+    println!("RT: 14.9 / 50.4 / 59.6 /  64.1 /   771.4");
+    println!("VM: 123.3 / 21.3 / 46.8 / 262.0 / 1,335.4");
+}

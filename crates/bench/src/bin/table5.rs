@@ -1,0 +1,106 @@
+//! Table 5: total memory references incurred for write detection.
+//!
+//! "All counts are in units of 1000 and are per-processor averages."
+
+use midway_bench::{banner, procs_from_args, run_suite, scale_from_args};
+use midway_core::{report, BackendKind, Counters};
+use midway_stats::{fmt_f64, CostModel, TextTable};
+
+fn main() {
+    let scale = scale_from_args();
+    let procs = procs_from_args();
+    banner(
+        "Table 5: memory references for write detection (x1000)",
+        scale,
+        procs,
+    );
+    let suite = run_suite(scale, procs);
+    let cost = CostModel::r3000_mach();
+
+    let headers: Vec<String> = ["System", "Operation"]
+        .iter()
+        .map(|s| s.to_string())
+        .chain(suite.iter().map(|s| s.app.label().to_string()))
+        .collect();
+    let headers: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = TextTable::new(&headers).left_cols(2);
+
+    let rt: Vec<(f64, f64)> = suite
+        .iter()
+        .map(|s| {
+            report::memory_refs_thousands(
+                BackendKind::Rt,
+                &Counters::average(&s.rt.counters),
+                &cost,
+            )
+        })
+        .collect();
+    let vm: Vec<(f64, f64)> = suite
+        .iter()
+        .map(|s| {
+            report::memory_refs_thousands(
+                BackendKind::Vm,
+                &Counters::average(&s.vm.counters),
+                &cost,
+            )
+        })
+        .collect();
+
+    let push = |t: &mut TextTable, sys: &str, op: &str, vals: Vec<String>| {
+        let mut cells = vec![sys.to_string(), op.to_string()];
+        cells.extend(vals);
+        t.row(&cells);
+    };
+    let f = |v: f64| fmt_f64(v, 0);
+    push(
+        &mut t,
+        "RT-DSM",
+        "write trapping",
+        rt.iter().map(|(a, _)| f(*a)).collect(),
+    );
+    push(
+        &mut t,
+        "",
+        "write collection",
+        rt.iter().map(|(_, b)| f(*b)).collect(),
+    );
+    push(
+        &mut t,
+        "",
+        "Total",
+        rt.iter().map(|(a, b)| f(a + b)).collect(),
+    );
+    t.separator();
+    push(
+        &mut t,
+        "VM-DSM",
+        "write trapping",
+        vm.iter().map(|(a, _)| f(*a)).collect(),
+    );
+    push(
+        &mut t,
+        "",
+        "write collection",
+        vm.iter().map(|(_, b)| f(*b)).collect(),
+    );
+    push(
+        &mut t,
+        "",
+        "Total",
+        vm.iter().map(|(a, b)| f(a + b)).collect(),
+    );
+    t.separator();
+    push(
+        &mut t,
+        "",
+        "RT-DSM memory reference advantage",
+        rt.iter()
+            .zip(&vm)
+            .map(|((ra, rb), (va, vb))| f(va + vb - ra - rb))
+            .collect(),
+    );
+    println!("{t}");
+    println!("\nPaper Table 5 totals (8 procs, paper inputs), for comparison:");
+    println!("RT:   139 / 576 / 529 /   875 /  5,788");
+    println!("VM: 1,278 / 521 / 512 / 2,656 / 13,439");
+}

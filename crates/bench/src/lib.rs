@@ -1,0 +1,92 @@
+//! Shared plumbing for the benchmark harnesses that regenerate the
+//! paper's tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — primitive operation costs |
+//! | `table2` | Table 2 — per-processor invocation counts |
+//! | `table3` | Table 3 — write-trapping time |
+//! | `table4` | Table 4 — write-collection time |
+//! | `table5` | Table 5 — memory references |
+//! | `fig2` | Figure 2 — execution time and data transferred |
+//! | `fig3` | Figure 3 — trapping cost vs. page-fault time |
+//! | `fig4` | Figure 4 — total detection cost vs. page-fault time |
+//! | `ablation_protocols` | §3.5 blast / twin-everything alternatives |
+//! | `ablation_rt_variants` | §3.5 update-queue / two-level dirtybits |
+//! | `ablation_linesize` | cache-line size sweep |
+//! | `false_sharing` | false-sharing microbenchmark |
+//! | `probe` | wall-clock probe: host time per paper-scale run (`-v` for counters) |
+//!
+//! Run with `--scale paper` (default; use `--release`) or
+//! `--scale medium|small` for quicker passes.
+
+use midway_apps::{run_app, AppKind, AppOutcome, Scale};
+use midway_core::{BackendKind, MidwayConfig};
+
+/// Parses `--scale paper|medium|small` from the command line.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+    {
+        Some("small") => Scale::Small,
+        Some("medium") => Scale::Medium,
+        Some("paper") | None => Scale::Paper,
+        Some(other) => panic!("unknown scale {other:?} (use paper|medium|small)"),
+    }
+}
+
+/// Parses `--procs N` (default: the paper's 8).
+pub fn procs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--procs")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--procs takes a number"))
+        .unwrap_or(8)
+}
+
+/// One application measured under both detection systems.
+pub struct SuiteRun {
+    /// The application.
+    pub app: AppKind,
+    /// The RT-DSM run.
+    pub rt: AppOutcome,
+    /// The VM-DSM run.
+    pub vm: AppOutcome,
+}
+
+/// Runs every application under RT-DSM and VM-DSM.
+///
+/// # Panics
+///
+/// Panics if any run fails its own verification — tables derived from an
+/// incorrect execution would be meaningless.
+pub fn run_suite(scale: Scale, procs: usize) -> Vec<SuiteRun> {
+    AppKind::all()
+        .into_iter()
+        .map(|app| {
+            eprintln!("running {} ...", app.label());
+            let rt = run_app(app, MidwayConfig::new(procs, BackendKind::Rt), scale);
+            assert!(rt.verified, "{app:?} failed verification under RT");
+            let vm = run_app(app, MidwayConfig::new(procs, BackendKind::Vm), scale);
+            assert!(vm.verified, "{app:?} failed verification under VM");
+            SuiteRun { app, rt, vm }
+        })
+        .collect()
+}
+
+/// Prints the standard scale/procs banner.
+pub fn banner(title: &str, scale: Scale, procs: usize) {
+    println!("== {title} ==");
+    println!("scale: {scale:?}, processors: {procs}");
+    if scale != Scale::Paper {
+        println!("(note: reduced input sizes; run with --scale paper for the paper's sizes)");
+    }
+    println!();
+}

@@ -1,0 +1,122 @@
+//! The application-facing per-processor API.
+
+use midway_mem::AddrRange;
+use midway_proto::{BarrierId, LockId, Mode};
+use midway_sim::{ProcHandle, VirtualTime};
+
+use crate::msg::DsmMsg;
+use crate::node::DsmNode;
+use crate::setup::{Scalar, SharedArray};
+
+/// One processor's view of the DSM: typed shared-memory access plus entry
+/// consistency synchronization.
+///
+/// Reads are local (Midway is update-based: "read latency is decreased to
+/// local memory latency... since there are no read misses"); writes run
+/// the configured write-trapping path. Synchronization calls are where
+/// consistency — and write collection — happens.
+pub struct Proc<'a> {
+    pub(crate) node: DsmNode,
+    pub(crate) h: &'a mut ProcHandle<DsmMsg>,
+}
+
+impl Proc<'_> {
+    /// This processor's id.
+    pub fn id(&self) -> usize {
+        self.h.id()
+    }
+
+    /// Number of processors in the cluster.
+    pub fn procs(&self) -> usize {
+        self.h.procs()
+    }
+
+    /// This processor's current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.h.now()
+    }
+
+    /// Charges `cycles` of application compute time.
+    pub fn work(&mut self, cycles: u64) {
+        self.h.work(cycles);
+    }
+
+    /// Waits `cycles` of virtual time while the runtime keeps serving
+    /// protocol requests. Use this — never a compute-only spin — to back
+    /// off in polling loops, so other processors can make progress.
+    pub fn idle(&mut self, cycles: u64) {
+        self.node.idle(self.h, cycles);
+    }
+
+    /// Reads element `i` of `a` from the local cache.
+    pub fn read<T: Scalar>(&mut self, a: &SharedArray<T>, i: usize) -> T {
+        T::load(&mut self.node.store, a.addr(i))
+    }
+
+    /// Writes element `i` of `a`, running write detection first.
+    pub fn write<T: Scalar>(&mut self, a: &SharedArray<T>, i: usize, v: T) {
+        let addr = a.addr(i);
+        self.node.trap_write(self.h, addr, T::SIZE);
+        T::store_to(&mut self.node.store, addr, v);
+    }
+
+    /// Writes a run of elements starting at `start` (an "area" store: one
+    /// template invocation covering all the lines, like a structure
+    /// assignment or `bcopy` in the paper).
+    pub fn write_slice<T: Scalar>(&mut self, a: &SharedArray<T>, start: usize, values: &[T]) {
+        if values.is_empty() {
+            return;
+        }
+        let addr = a.addr(start);
+        assert!(start + values.len() <= a.len(), "slice write out of bounds");
+        self.node.trap_write(self.h, addr, values.len() * T::SIZE);
+        for (k, v) in values.iter().enumerate() {
+            T::store_to(&mut self.node.store, a.addr(start + k), *v);
+        }
+    }
+
+    /// Reads elements `range` into a vector.
+    pub fn read_vec<T: Scalar>(
+        &mut self,
+        a: &SharedArray<T>,
+        range: std::ops::Range<usize>,
+    ) -> Vec<T> {
+        range.map(|i| self.read(a, i)).collect()
+    }
+
+    /// Acquires `lock` exclusively (for writing).
+    pub fn acquire(&mut self, lock: LockId) {
+        self.node.acquire(self.h, lock, Mode::Exclusive);
+    }
+
+    /// Acquires `lock` in non-exclusive mode (for reading).
+    pub fn acquire_shared(&mut self, lock: LockId) {
+        self.node.acquire(self.h, lock, Mode::Shared);
+    }
+
+    /// Releases an exclusive hold of `lock`.
+    pub fn release(&mut self, lock: LockId) {
+        self.node.release(self.h, lock, Mode::Exclusive);
+    }
+
+    /// Releases a non-exclusive hold of `lock`.
+    pub fn release_shared(&mut self, lock: LockId) {
+        self.node.release(self.h, lock, Mode::Shared);
+    }
+
+    /// Rebinds `lock` to `ranges`; the caller must hold it exclusively.
+    pub fn rebind(&mut self, lock: LockId, ranges: Vec<AddrRange>) {
+        self.node.rebind(lock, ranges);
+    }
+
+    /// Crosses `barrier`, making its bound data consistent everywhere.
+    pub fn barrier(&mut self, barrier: BarrierId) {
+        self.node.barrier(self.h, barrier);
+    }
+
+    /// The ranges this processor currently knows to be bound to `lock`
+    /// (bindings travel with grants, so hold the lock for a fresh answer).
+    pub fn bound_ranges(&self, lock: LockId) -> Vec<AddrRange> {
+        self.node.binding(lock).ranges().to_vec()
+    }
+}

@@ -1,0 +1,104 @@
+//! System configuration.
+
+use midway_sim::NetModel;
+use midway_stats::CostModel;
+
+/// Which write-detection strategy the system runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BackendKind {
+    /// RT-DSM: compiler/runtime dirtybits (the paper's contribution).
+    Rt,
+    /// VM-DSM: page protection, twins and diffs.
+    Vm,
+    /// §3.5 strawman: no detection, all bound data shipped every transfer.
+    Blast,
+    /// §3.5 alternative: twin everything, diff at every transfer, no
+    /// faults.
+    TwinAll,
+    /// No detection and no consistency at all: the *standalone* build used
+    /// for the uniprocessor baseline in Figure 2 (valid only with one
+    /// processor).
+    None,
+}
+
+impl BackendKind {
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Rt => "RT-DSM",
+            BackendKind::Vm => "VM-DSM",
+            BackendKind::Blast => "Blast",
+            BackendKind::TwinAll => "TwinAll",
+            BackendKind::None => "standalone",
+        }
+    }
+}
+
+/// Full configuration of a Midway run.
+#[derive(Clone, Copy, Debug)]
+pub struct MidwayConfig {
+    /// Number of processors (the paper's cluster has eight).
+    pub procs: usize,
+    /// Write-detection backend.
+    pub backend: BackendKind,
+    /// Primitive-operation costs (paper Table 1).
+    pub cost: CostModel,
+    /// Interconnect model.
+    pub net: NetModel,
+    /// VM-DSM: incarnations of update history retained per lock. Midway
+    /// keeps "the complete set of prior updates" and falls back to a full
+    /// send when their concatenation exceeds the bound data size; a large
+    /// cap makes that size rule — not pruning — the operative fallback.
+    pub history_cap: usize,
+}
+
+impl MidwayConfig {
+    /// The paper's platform: `procs` processors, Table 1 costs, ATM net.
+    pub fn new(procs: usize, backend: BackendKind) -> MidwayConfig {
+        MidwayConfig {
+            procs,
+            backend,
+            cost: CostModel::r3000_mach(),
+            net: NetModel::atm_cluster(),
+            history_cap: 512,
+        }
+    }
+
+    /// The standalone uniprocessor baseline.
+    pub fn standalone() -> MidwayConfig {
+        MidwayConfig::new(1, BackendKind::None)
+    }
+
+    /// Replaces the cost model (e.g. for the Figure 3/4 fault sweep).
+    pub fn cost(mut self, cost: CostModel) -> MidwayConfig {
+        self.cost = cost;
+        self
+    }
+
+    /// Replaces the network model.
+    pub fn net(mut self, net: NetModel) -> MidwayConfig {
+        self.net = net;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper_platform() {
+        let c = MidwayConfig::new(8, BackendKind::Rt);
+        assert_eq!(c.procs, 8);
+        assert_eq!(c.cost.mhz, 25);
+        assert_eq!(c.cost.page_size, 4096);
+    }
+
+    #[test]
+    fn standalone_is_single_proc_no_detection() {
+        let c = MidwayConfig::standalone();
+        assert_eq!(c.procs, 1);
+        assert_eq!(c.backend, BackendKind::None);
+        assert_eq!(c.backend.label(), "standalone");
+    }
+}

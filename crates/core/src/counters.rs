@@ -1,0 +1,162 @@
+//! Per-processor invocation counters (the rows of the paper's Table 2).
+
+/// Counts of every primitive operation a processor performed, plus general
+/// protocol activity. Tables 2–5 and Figures 3–4 are derived from these.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    // --- RT-DSM (Table 2, upper half) ---
+    /// Dirtybits set by the write-trapping templates.
+    pub dirtybits_set: u64,
+    /// Writes to private memory that went through a shared-path template.
+    pub dirtybits_misclassified: u64,
+    /// Clean dirtybits read during collection scans.
+    pub clean_dirtybits_read: u64,
+    /// Dirty dirtybits read during collection scans.
+    pub dirty_dirtybits_read: u64,
+    /// Dirtybits stamped with a new timestamp at the requesting processor.
+    pub dirtybits_updated: u64,
+
+    // --- VM-DSM (Table 2, lower half) ---
+    /// Page write faults serviced (includes twin + protection).
+    pub write_faults: u64,
+    /// Pages diffed against their twins.
+    pub pages_diffed: u64,
+    /// Pages write-protected after cleaning.
+    pub pages_write_protected: u64,
+    /// Bytes of incoming updates applied to twins of dirty pages.
+    pub twin_bytes_updated: u64,
+
+    // --- shared ---
+    /// Application data bytes this processor sent in consistency traffic.
+    pub data_bytes_sent: u64,
+    /// Application data bytes received.
+    pub data_bytes_received: u64,
+    /// Received bytes that were already current locally (RT's exactly-once
+    /// filter dropped them).
+    pub redundant_bytes_received: u64,
+    /// Lock acquisitions completed.
+    pub lock_acquires: u64,
+    /// Lock data transfers performed as the releasing side.
+    pub lock_transfers_served: u64,
+    /// Transfers that shipped the full bound data instead of a diff/history
+    /// (VM incarnation fallback, rebinding, or blast).
+    pub full_data_sends: u64,
+    /// Barrier episodes completed.
+    pub barrier_waits: u64,
+}
+
+impl Counters {
+    /// Element-wise sum (for cluster-wide aggregation).
+    pub fn add(&mut self, other: &Counters) {
+        self.dirtybits_set += other.dirtybits_set;
+        self.dirtybits_misclassified += other.dirtybits_misclassified;
+        self.clean_dirtybits_read += other.clean_dirtybits_read;
+        self.dirty_dirtybits_read += other.dirty_dirtybits_read;
+        self.dirtybits_updated += other.dirtybits_updated;
+        self.write_faults += other.write_faults;
+        self.pages_diffed += other.pages_diffed;
+        self.pages_write_protected += other.pages_write_protected;
+        self.twin_bytes_updated += other.twin_bytes_updated;
+        self.data_bytes_sent += other.data_bytes_sent;
+        self.data_bytes_received += other.data_bytes_received;
+        self.redundant_bytes_received += other.redundant_bytes_received;
+        self.lock_acquires += other.lock_acquires;
+        self.lock_transfers_served += other.lock_transfers_served;
+        self.full_data_sends += other.full_data_sends;
+        self.barrier_waits += other.barrier_waits;
+    }
+
+    /// The per-processor average of a set of counters, as the paper's
+    /// Table 2 reports ("averages for all processors in an 8-way run").
+    pub fn average(all: &[Counters]) -> AvgCounters {
+        let n = all.len().max(1) as f64;
+        let mut sum = Counters::default();
+        for c in all {
+            sum.add(c);
+        }
+        AvgCounters { sum, n }
+    }
+
+    /// Fraction of scanned dirtybits that were dirty (Table 2's "percent
+    /// dirty data" analogue for RT).
+    pub fn percent_dirty(&self) -> f64 {
+        let scanned = self.clean_dirtybits_read + self.dirty_dirtybits_read;
+        if scanned == 0 {
+            return 0.0;
+        }
+        100.0 * self.dirty_dirtybits_read as f64 / scanned as f64
+    }
+}
+
+/// Per-processor averages, exposed field-by-field as `f64`.
+#[derive(Clone, Copy, Debug)]
+pub struct AvgCounters {
+    sum: Counters,
+    n: f64,
+}
+
+impl AvgCounters {
+    /// The underlying cluster-wide totals.
+    pub fn totals(&self) -> &Counters {
+        &self.sum
+    }
+
+    /// Number of processors averaged over.
+    pub fn procs(&self) -> f64 {
+        self.n
+    }
+
+    /// Average of an arbitrary counter field, selected by closure.
+    pub fn avg(&self, f: impl Fn(&Counters) -> u64) -> f64 {
+        f(&self.sum) as f64 / self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_element_wise() {
+        let mut a = Counters {
+            dirtybits_set: 10,
+            write_faults: 2,
+            ..Counters::default()
+        };
+        let b = Counters {
+            dirtybits_set: 5,
+            data_bytes_sent: 100,
+            ..Counters::default()
+        };
+        a.add(&b);
+        assert_eq!(a.dirtybits_set, 15);
+        assert_eq!(a.write_faults, 2);
+        assert_eq!(a.data_bytes_sent, 100);
+    }
+
+    #[test]
+    fn average_divides_by_processor_count() {
+        let a = Counters {
+            dirtybits_set: 10,
+            ..Counters::default()
+        };
+        let b = Counters {
+            dirtybits_set: 30,
+            ..Counters::default()
+        };
+        let avg = Counters::average(&[a, b]);
+        assert_eq!(avg.avg(|c| c.dirtybits_set), 20.0);
+        assert_eq!(avg.totals().dirtybits_set, 40);
+    }
+
+    #[test]
+    fn percent_dirty_handles_zero_scans() {
+        assert_eq!(Counters::default().percent_dirty(), 0.0);
+        let c = Counters {
+            clean_dirtybits_read: 75,
+            dirty_dirtybits_read: 25,
+            ..Counters::default()
+        };
+        assert!((c.percent_dirty() - 25.0).abs() < 1e-9);
+    }
+}

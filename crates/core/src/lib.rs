@@ -1,0 +1,60 @@
+//! The Midway distributed shared memory reproduction.
+//!
+//! This crate implements the system of *"Software Write Detection for a
+//! Distributed Shared Memory"* (Zekauskas, Sawdon & Bershad, OSDI '94):
+//! an entry-consistency DSM with pluggable write-detection backends —
+//! RT-DSM (compiler/runtime dirtybits, the paper's contribution), VM-DSM
+//! (page protection, twins and diffs), plus the §3.5 alternatives (blast
+//! and twin-everything) — running on a deterministic virtual-time cluster
+//! simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use midway_core::{BackendKind, Midway, MidwayConfig, SystemBuilder};
+//!
+//! // Two processors increment a shared counter under a lock.
+//! let mut b = SystemBuilder::new();
+//! let counter = b.shared_array::<u64>("counter", 1, 1);
+//! let lock = b.lock(vec![counter.full_range()]);
+//! let spec = b.build();
+//!
+//! let run = Midway::run(MidwayConfig::new(2, BackendKind::Rt), &spec, |p| {
+//!     for _ in 0..10 {
+//!         p.acquire(lock);
+//!         let v = p.read(&counter, 0);
+//!         p.write(&counter, 0, v + 1);
+//!         p.release(lock);
+//!     }
+//!     p.acquire(lock);
+//!     let v = p.read(&counter, 0);
+//!     p.release(lock);
+//!     v
+//! })
+//! .unwrap();
+//! // Whoever read last saw all 20 increments.
+//! assert_eq!(*run.results.iter().max().unwrap(), 20);
+//! ```
+
+mod api;
+mod config;
+mod counters;
+mod msg;
+mod node;
+pub mod report;
+mod run;
+mod setup;
+
+pub use api::Proc;
+pub use config::{BackendKind, MidwayConfig};
+pub use counters::{AvgCounters, Counters};
+pub use msg::{DsmMsg, GrantPayload};
+pub use run::{Midway, MidwayRun};
+pub use setup::{Scalar, SharedArray, SystemBuilder, SystemSpec};
+
+// Re-export the identifiers applications need.
+pub use midway_mem::AddrRange;
+pub use midway_proto::{BarrierId, LockId, Mode};
+pub use midway_sim::{NetModel, SimError, SplitMix64, VirtualTime};
+pub use midway_stats::CostModel;

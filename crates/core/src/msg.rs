@@ -1,0 +1,229 @@
+//! The DSM protocol messages and their wire sizes.
+
+use midway_proto::{BarrierId, Binding, LockId, Mode, Update, UpdateSet, MSG_HEADER_BYTES};
+
+/// The data a grant carries, per backend.
+#[derive(Clone, Debug)]
+pub enum GrantPayload {
+    /// No data: the requester was already the owner of record.
+    Current,
+    /// RT-DSM: timestamped line updates plus the releaser's logical time.
+    Rt {
+        /// The lines newer than the requester's last-seen time.
+        set: UpdateSet,
+        /// The releaser's logical time; the requester's cache is consistent
+        /// as of this time.
+        consist_time: u64,
+        /// The lock's current binding (it may have been rebound).
+        binding: Binding,
+    },
+    /// VM-DSM: the incarnation-ordered updates the requester is missing, or
+    /// the full bound data when the history cannot serve it.
+    Vm {
+        /// Missing incarnations, oldest first (empty when `full` is used).
+        updates: Vec<Update>,
+        /// Full bound data fallback.
+        full: Option<UpdateSet>,
+        /// The incarnation the requester is current as of after applying.
+        incarnation: u64,
+        /// The lock's current binding.
+        binding: Binding,
+    },
+    /// Blast / TwinAll: one update set (full data or whole-binding diff).
+    Flat {
+        /// The data.
+        set: UpdateSet,
+        /// The lock's current binding.
+        binding: Binding,
+    },
+}
+
+impl GrantPayload {
+    /// Application data bytes carried (the paper's "data transferred").
+    pub fn data_bytes(&self) -> u64 {
+        match self {
+            GrantPayload::Current => 0,
+            GrantPayload::Rt { set, .. } => set.data_bytes(),
+            GrantPayload::Vm { updates, full, .. } => {
+                updates.iter().map(|u| u.set.data_bytes()).sum::<u64>()
+                    + full.as_ref().map_or(0, |s| s.data_bytes())
+            }
+            GrantPayload::Flat { set, .. } => set.data_bytes(),
+        }
+    }
+
+    /// Total wire bytes (data + per-item and per-update headers).
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            GrantPayload::Current => 0,
+            GrantPayload::Rt { set, binding, .. } => set.wire_size() + binding.wire_size() + 8,
+            GrantPayload::Vm {
+                updates,
+                full,
+                binding,
+                ..
+            } => {
+                updates.iter().map(|u| u.wire_size()).sum::<u64>()
+                    + full.as_ref().map_or(0, |s| s.wire_size())
+                    + binding.wire_size()
+                    + 8
+            }
+            GrantPayload::Flat { set, binding } => set.wire_size() + binding.wire_size(),
+        }
+    }
+}
+
+/// A message between DSM runtime instances.
+#[derive(Clone, Debug)]
+pub enum DsmMsg {
+    /// Requester → home: acquire a lock.
+    AcquireReq {
+        /// The lock.
+        lock: LockId,
+        /// Exclusive or shared.
+        mode: Mode,
+        /// What the requester has already seen (opaque to the home).
+        seen: (u64, u64),
+    },
+    /// Home → owner of record: run write collection for `requester`.
+    TransferReq {
+        /// The lock.
+        lock: LockId,
+        /// The acquiring processor.
+        requester: usize,
+        /// Exclusive or shared.
+        mode: Mode,
+        /// The requester's last-seen token.
+        seen: (u64, u64),
+    },
+    /// Owner of record → requester: the lock is yours; here is the data.
+    Grant {
+        /// The lock.
+        lock: LockId,
+        /// The granted mode.
+        mode: Mode,
+        /// The consistency payload.
+        payload: GrantPayload,
+    },
+    /// Holder → home: the lock is released.
+    ReleaseNotify {
+        /// The lock.
+        lock: LockId,
+        /// The mode being released.
+        mode: Mode,
+    },
+    /// Processor → manager: arrived at a barrier with collected updates.
+    BarrierArrive {
+        /// The barrier.
+        barrier: BarrierId,
+        /// This processor's modifications to the bound data.
+        set: UpdateSet,
+        /// The arriving processor's logical time.
+        time: u64,
+    },
+    /// Self-posted timer used by `Proc::idle` backoff waits.
+    Tick,
+    /// Manager → processor: everyone arrived; here is everyone else's data.
+    BarrierRelease {
+        /// The barrier.
+        barrier: BarrierId,
+        /// The merged updates, minus the receiver's own contribution.
+        set: UpdateSet,
+        /// The manager's logical time.
+        time: u64,
+    },
+}
+
+impl DsmMsg {
+    /// The message's bytes on the wire.
+    pub fn wire_size(&self) -> u64 {
+        MSG_HEADER_BYTES
+            + match self {
+                DsmMsg::Tick => 0,
+                DsmMsg::AcquireReq { .. } => 24,
+                DsmMsg::TransferReq { .. } => 32,
+                DsmMsg::Grant { payload, .. } => 8 + payload.wire_size(),
+                DsmMsg::ReleaseNotify { .. } => 8,
+                DsmMsg::BarrierArrive { set, .. } => 16 + set.wire_size(),
+                DsmMsg::BarrierRelease { set, .. } => 16 + set.wire_size(),
+            }
+    }
+
+    /// Application data bytes carried (protocol overhead excluded).
+    pub fn data_bytes(&self) -> u64 {
+        match self {
+            DsmMsg::Grant { payload, .. } => payload.data_bytes(),
+            DsmMsg::BarrierArrive { set, .. } | DsmMsg::BarrierRelease { set, .. } => {
+                set.data_bytes()
+            }
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midway_proto::UpdateItem;
+
+    fn set(bytes: usize) -> UpdateSet {
+        UpdateSet {
+            items: vec![UpdateItem {
+                addr: 0x40_0000,
+                data: vec![0; bytes],
+                ts: 5,
+            }],
+        }
+    }
+
+    #[test]
+    fn grant_sizes_count_data_and_headers() {
+        let p = GrantPayload::Rt {
+            set: set(64),
+            consist_time: 9,
+            binding: Binding::new(vec![0x40_0000..0x40_0040]),
+        };
+        assert_eq!(p.data_bytes(), 64);
+        assert!(p.wire_size() > 64);
+        let m = DsmMsg::Grant {
+            lock: LockId(0),
+            mode: Mode::Exclusive,
+            payload: p,
+        };
+        assert_eq!(m.data_bytes(), 64);
+        assert!(m.wire_size() > m.data_bytes());
+    }
+
+    #[test]
+    fn vm_payload_sums_updates_and_full() {
+        let p = GrantPayload::Vm {
+            updates: vec![
+                Update {
+                    incarnation: 1,
+                    set: set(16),
+                    full: false,
+                },
+                Update {
+                    incarnation: 2,
+                    set: set(8),
+                    full: false,
+                },
+            ],
+            full: None,
+            incarnation: 2,
+            binding: Binding::new(vec![0x40_0000..0x40_0040]),
+        };
+        assert_eq!(p.data_bytes(), 24);
+    }
+
+    #[test]
+    fn control_messages_carry_no_app_data() {
+        let m = DsmMsg::AcquireReq {
+            lock: LockId(3),
+            mode: Mode::Shared,
+            seen: (1, 0),
+        };
+        assert_eq!(m.data_bytes(), 0);
+        assert!(m.wire_size() >= MSG_HEADER_BYTES);
+    }
+}

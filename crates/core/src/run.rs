@@ -1,0 +1,113 @@
+//! Running a Midway program on the simulated cluster.
+
+use std::sync::Arc;
+
+use midway_sim::{Cluster, ClusterConfig, ProcReport, SimError, VirtualTime};
+
+use crate::api::Proc;
+use crate::config::{BackendKind, MidwayConfig};
+use crate::counters::{AvgCounters, Counters};
+use crate::msg::DsmMsg;
+use crate::node::DsmNode;
+use crate::setup::SystemSpec;
+
+/// The outcome of a Midway run.
+#[derive(Debug)]
+pub struct MidwayRun<R> {
+    /// Per-processor application results.
+    pub results: Vec<R>,
+    /// Per-processor primitive-operation counters (Table 2's raw data).
+    pub counters: Vec<Counters>,
+    /// Per-processor simulator accounting (clock breakdowns, messages).
+    pub reports: Vec<ProcReport>,
+    /// The run's finish time: the maximum final clock.
+    pub finish_time: VirtualTime,
+    /// Messages delivered cluster-wide.
+    pub messages: u64,
+    /// The configuration that produced this run.
+    pub cfg: MidwayConfig,
+}
+
+impl<R> MidwayRun<R> {
+    /// Per-processor average counters, as the paper's Table 2 reports.
+    pub fn avg_counters(&self) -> AvgCounters {
+        Counters::average(&self.counters)
+    }
+
+    /// Execution time in modelled seconds.
+    pub fn exec_secs(&self) -> f64 {
+        self.cfg.cost.cycles_to_secs(self.finish_time.cycles())
+    }
+
+    /// Application data transferred, in KB per processor (Table 2's
+    /// "data transferred" row counts application data only).
+    pub fn data_kb_per_proc(&self) -> f64 {
+        self.avg_counters().avg(|c| c.data_bytes_sent) / 1024.0
+    }
+
+    /// Application data transferred cluster-wide, in MB (Figure 2's right
+    ///-hand axis).
+    pub fn data_mb_total(&self) -> f64 {
+        self.counters
+            .iter()
+            .map(|c| c.data_bytes_sent as f64)
+            .sum::<f64>()
+            / (1024.0 * 1024.0)
+    }
+}
+
+/// Entry point for running Midway programs.
+pub struct Midway;
+
+impl Midway {
+    /// Runs `f` once per processor against `spec` under `cfg`.
+    ///
+    /// The closure receives a [`Proc`] — the processor's DSM view. After it
+    /// returns, the runtime keeps serving protocol requests until the whole
+    /// cluster quiesces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on deadlock (including application-level lock
+    /// cycles) or if any processor's closure panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.backend` is [`BackendKind::None`] with more than one
+    /// processor: the standalone build has no consistency machinery.
+    pub fn run<R, F>(
+        cfg: MidwayConfig,
+        spec: &Arc<SystemSpec>,
+        f: F,
+    ) -> Result<MidwayRun<R>, SimError>
+    where
+        R: Send,
+        F: Fn(&mut Proc<'_>) -> R + Send + Sync,
+    {
+        assert!(
+            cfg.backend != BackendKind::None || cfg.procs == 1,
+            "the standalone backend only supports one processor"
+        );
+        let spec = Arc::clone(spec);
+        let cluster = ClusterConfig {
+            procs: cfg.procs,
+            net: cfg.net,
+        };
+        let out = Cluster::run(cluster, move |h: &mut midway_sim::ProcHandle<DsmMsg>| {
+            let node = DsmNode::new(h.id(), cfg, Arc::clone(&spec));
+            let mut proc = Proc { node, h };
+            let r = f(&mut proc);
+            proc.node.finalize(proc.h);
+            (r, proc.node.counters)
+        })?;
+        let (results, counters): (Vec<R>, Vec<Counters>) = out.results.into_iter().unzip();
+        Ok(MidwayRun {
+            results,
+            counters,
+            reports: out.reports,
+            finish_time: out.finish_time,
+            messages: out.messages_delivered,
+            cfg,
+        })
+    }
+}

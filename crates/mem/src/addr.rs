@@ -1,0 +1,143 @@
+//! Virtual addresses and the region/page geometry.
+
+use std::fmt;
+use std::ops::{Add, Range};
+
+/// Regions are 4 MiB: large and fixed-size, as in the paper, so the base of
+/// a region (where its dirtybit template lives) is computable by masking
+/// the low-order bits of any address inside it.
+pub const REGION_SHIFT: u32 = 22;
+/// Region size in bytes.
+pub const REGION_SIZE: usize = 1 << REGION_SHIFT;
+/// Pages are 4 KB, the paper's DECstation page size.
+pub const PAGE_SHIFT: u32 = 12;
+/// Page size in bytes.
+pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A virtual address in the shared (or private) address space.
+///
+/// Addresses are global: the same address names the same datum on every
+/// processor, which is what lets the consistency protocol ship `(address,
+/// bytes)` updates.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The region index containing this address.
+    pub fn region_index(self) -> usize {
+        (self.0 >> REGION_SHIFT) as usize
+    }
+
+    /// The base address of the containing region (the paper's mask trick).
+    pub fn region_base(self) -> Addr {
+        Addr(self.0 & !((REGION_SIZE as u64) - 1))
+    }
+
+    /// Byte offset within the containing region.
+    pub fn region_offset(self) -> usize {
+        (self.0 & ((REGION_SIZE as u64) - 1)) as usize
+    }
+
+    /// Page index within the containing region.
+    pub fn page_in_region(self) -> usize {
+        self.region_offset() >> PAGE_SHIFT
+    }
+
+    /// Byte offset within the containing page.
+    pub fn page_offset(self) -> usize {
+        (self.0 & ((PAGE_SIZE as u64) - 1)) as usize
+    }
+
+    /// Cache-line index within the containing region, for lines of
+    /// `1 << line_shift` bytes.
+    pub fn line_in_region(self, line_shift: u32) -> usize {
+        self.region_offset() >> line_shift
+    }
+
+    /// The raw address value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A contiguous byte range of the address space.
+pub type AddrRange = Range<u64>;
+
+/// Splits `range` at region boundaries, yielding per-region subranges.
+///
+/// Cache lines and pages never straddle regions (both divide the region
+/// size), so most per-region logic iterates these pieces.
+pub fn split_by_region(range: AddrRange) -> impl Iterator<Item = AddrRange> {
+    let mut cur = range.start;
+    let end = range.end;
+    std::iter::from_fn(move || {
+        if cur >= end {
+            return None;
+        }
+        let region_end = (cur | (REGION_SIZE as u64 - 1)) + 1;
+        let piece_end = region_end.min(end);
+        let piece = cur..piece_end;
+        cur = piece_end;
+        Some(piece)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_geometry() {
+        let a = Addr((3 << REGION_SHIFT) + 0x1234);
+        assert_eq!(a.region_index(), 3);
+        assert_eq!(a.region_base().raw(), 3 << REGION_SHIFT);
+        assert_eq!(a.region_offset(), 0x1234);
+        assert_eq!(a.page_in_region(), 1);
+        assert_eq!(a.page_offset(), 0x234);
+    }
+
+    #[test]
+    fn line_indexing_uses_line_shift() {
+        let a = Addr((1 << REGION_SHIFT) + 64);
+        assert_eq!(a.line_in_region(3), 8); // 8-byte lines
+        assert_eq!(a.line_in_region(6), 1); // 64-byte lines
+        assert_eq!(a.line_in_region(12), 0); // page-size lines
+    }
+
+    #[test]
+    fn split_by_region_handles_straddles() {
+        let start = (1 << REGION_SHIFT) as u64 + REGION_SIZE as u64 - 100;
+        let pieces: Vec<_> = split_by_region(start..start + 300).collect();
+        assert_eq!(pieces.len(), 2);
+        assert_eq!(pieces[0], start..start + 100);
+        assert_eq!(pieces[1], start + 100..start + 300);
+    }
+
+    #[test]
+    fn split_by_region_passes_through_contained_ranges() {
+        let base = (2 << REGION_SHIFT) as u64;
+        let pieces: Vec<_> = split_by_region(base + 8..base + 128).collect();
+        assert_eq!(pieces, vec![base + 8..base + 128]);
+        assert_eq!(split_by_region(base..base).count(), 0);
+    }
+}

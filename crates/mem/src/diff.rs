@@ -1,0 +1,213 @@
+//! Word-granularity page diffing for VM-DSM write collection.
+//!
+//! A *diff* is "a succinct description of all modifications to the page"
+//! (paper §3.4): the changed words, run-length encoded. Runs matter twice:
+//! they determine the wire size of an update and they drive the diff cost
+//! model (a fragmented page costs more to diff than a uniform one —
+//! Table 1's 260 µs vs 1870 µs endpoints).
+
+use std::ops::Range;
+
+/// Comparison granularity: the paper diffs in words.
+pub const WORD: usize = 4;
+
+/// One maximal run of changed bytes within a page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiffRun {
+    /// Byte offset of the run within the page.
+    pub offset: usize,
+    /// The new bytes.
+    pub data: Vec<u8>,
+}
+
+impl DiffRun {
+    /// The byte range this run covers.
+    pub fn range(&self) -> Range<usize> {
+        self.offset..self.offset + self.data.len()
+    }
+}
+
+/// All modifications to one page, relative to its twin.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PageDiff {
+    /// Maximal changed runs, in increasing offset order, non-adjacent.
+    pub runs: Vec<DiffRun>,
+}
+
+/// Wire overhead per run: offset + length descriptors.
+pub const RUN_HEADER_BYTES: usize = 8;
+
+impl PageDiff {
+    /// Compares `current` against `twin` word by word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn compute(current: &[u8], twin: &[u8]) -> PageDiff {
+        assert_eq!(current.len(), twin.len(), "page and twin must match");
+        let mut runs: Vec<DiffRun> = Vec::new();
+        let mut i = 0;
+        while i < current.len() {
+            let w = WORD.min(current.len() - i);
+            if current[i..i + w] != twin[i..i + w] {
+                match runs.last_mut() {
+                    Some(run) if run.offset + run.data.len() == i => {
+                        run.data.extend_from_slice(&current[i..i + w]);
+                    }
+                    _ => runs.push(DiffRun {
+                        offset: i,
+                        data: current[i..i + w].to_vec(),
+                    }),
+                }
+            }
+            i += w;
+        }
+        PageDiff { runs }
+    }
+
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of maximal changed runs (the diff cost model's fragmentation
+    /// measure).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total changed bytes.
+    pub fn changed_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.data.len()).sum()
+    }
+
+    /// Bytes this diff occupies on the wire.
+    pub fn wire_size(&self) -> usize {
+        self.changed_bytes() + self.runs.len() * RUN_HEADER_BYTES
+    }
+
+    /// Applies the diff to `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a run falls outside `page`.
+    pub fn apply(&self, page: &mut [u8]) {
+        for run in &self.runs {
+            page[run.range()].copy_from_slice(&run.data);
+        }
+    }
+
+    /// Restricts the diff to the byte `ranges` (sorted, non-overlapping,
+    /// page-relative): the part of the page's modifications that belongs to
+    /// the synchronization object being transferred.
+    pub fn restrict(&self, ranges: &[Range<usize>]) -> PageDiff {
+        let mut out = Vec::new();
+        for run in &self.runs {
+            for range in ranges {
+                let lo = run.offset.max(range.start);
+                let hi = (run.offset + run.data.len()).min(range.end);
+                if lo < hi {
+                    out.push(DiffRun {
+                        offset: lo,
+                        data: run.data[lo - run.offset..hi - run.offset].to_vec(),
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|r| r.offset);
+        PageDiff { runs: out }
+    }
+
+    /// True when every changed byte lies inside `ranges` — i.e. shipping
+    /// the restricted diff ships *all* modified data on the page, so the
+    /// page may be cleaned afterwards.
+    pub fn covered_by(&self, ranges: &[Range<usize>]) -> bool {
+        self.changed_bytes() == self.restrict(ranges).changed_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_pair() -> (Vec<u8>, Vec<u8>) {
+        (vec![0u8; 256], vec![0u8; 256])
+    }
+
+    #[test]
+    fn identical_pages_diff_empty() {
+        let (cur, twin) = page_pair();
+        let d = PageDiff::compute(&cur, &twin);
+        assert!(d.is_empty());
+        assert_eq!(d.wire_size(), 0);
+    }
+
+    #[test]
+    fn adjacent_changed_words_coalesce_into_one_run() {
+        let (mut cur, twin) = page_pair();
+        cur[8..16].copy_from_slice(&[1; 8]);
+        let d = PageDiff::compute(&cur, &twin);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.runs[0].offset, 8);
+        assert_eq!(d.changed_bytes(), 8);
+    }
+
+    #[test]
+    fn every_other_word_makes_maximal_runs() {
+        let (mut cur, twin) = page_pair();
+        for w in (0..256 / WORD).step_by(2) {
+            cur[w * WORD] = 0xFF;
+        }
+        let d = PageDiff::compute(&cur, &twin);
+        assert_eq!(d.run_count(), 256 / WORD / 2);
+        // Word granularity: a single changed byte ships the whole word.
+        assert_eq!(d.changed_bytes(), 256 / 2);
+    }
+
+    #[test]
+    fn apply_reproduces_the_current_page() {
+        let (mut cur, twin) = page_pair();
+        cur[0] = 1;
+        cur[100] = 2;
+        cur[255] = 3;
+        let d = PageDiff::compute(&cur, &twin);
+        let mut rebuilt = twin.clone();
+        d.apply(&mut rebuilt);
+        assert_eq!(rebuilt, cur);
+    }
+
+    #[test]
+    fn partial_tail_word_is_compared() {
+        let mut cur = vec![0u8; 10];
+        let twin = vec![0u8; 10];
+        cur[9] = 5;
+        let d = PageDiff::compute(&cur, &twin);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.runs[0].offset, 8);
+        assert_eq!(d.runs[0].data.len(), 2);
+    }
+
+    #[test]
+    fn restrict_cuts_runs_to_bound_ranges() {
+        let (mut cur, twin) = page_pair();
+        cur[0..32].copy_from_slice(&[9; 32]);
+        let d = PageDiff::compute(&cur, &twin);
+        let r = d.restrict(&[8..16, 24..28]);
+        assert_eq!(r.run_count(), 2);
+        assert_eq!(r.runs[0].range(), 8..16);
+        assert_eq!(r.runs[1].range(), 24..28);
+        assert_eq!(r.changed_bytes(), 12);
+        assert!(!d.covered_by(&[8..16, 24..28]));
+        assert!(d.covered_by(&[0..32]));
+        assert!(d.covered_by(&[0..256]));
+    }
+
+    #[test]
+    fn wire_size_includes_run_headers() {
+        let (mut cur, twin) = page_pair();
+        cur[0] = 1;
+        cur[100] = 1;
+        let d = PageDiff::compute(&cur, &twin);
+        assert_eq!(d.wire_size(), 2 * WORD + 2 * RUN_HEADER_BYTES);
+    }
+}

@@ -1,0 +1,332 @@
+//! Timestamp dirtybits and the per-region dirtybit-update template.
+//!
+//! Paper §3.1–3.2: every cache line cached on a processor has a dirtybit in
+//! that processor's memory. The dirtybit is *actually a timestamp* (a
+//! Lamport-clock value) recording the most recent modification; in practice
+//! the write path stores a zero ("dirty") and the timestamp is filled in
+//! lazily when the guarding synchronization object is transferred.
+
+use midway_stats::CostModel;
+
+use crate::addr::Addr;
+use crate::layout::{MemClass, RegionDesc};
+
+/// The value the write-path template stores: "modified, not yet stamped".
+pub const DIRTY: u64 = 0;
+
+/// The initial timestamp of every line: older than any real Lamport time.
+pub const EPOCH: u64 = 1;
+
+/// What kind of store hit the template (Appendix A entry points).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StoreKind {
+    /// 1-byte store.
+    Byte,
+    /// 2-byte store.
+    Halfword,
+    /// 4-byte store.
+    Word,
+    /// 8-byte store.
+    Doubleword,
+    /// Unaligned or multi-word store (structure assignment, `bcopy`, ...).
+    Area(usize),
+}
+
+impl StoreKind {
+    /// Classifies a store of `len` bytes.
+    pub fn of_len(len: usize) -> StoreKind {
+        match len {
+            1 => StoreKind::Byte,
+            2 => StoreKind::Halfword,
+            4 => StoreKind::Word,
+            8 => StoreKind::Doubleword,
+            n => StoreKind::Area(n),
+        }
+    }
+
+    /// The store's length in bytes.
+    #[allow(clippy::len_without_is_empty)] // a store is never empty
+    pub fn len(&self) -> usize {
+        match self {
+            StoreKind::Byte => 1,
+            StoreKind::Halfword => 2,
+            StoreKind::Word => 4,
+            StoreKind::Doubleword => 8,
+            StoreKind::Area(n) => *n,
+        }
+    }
+}
+
+/// The per-processor dirtybit array of one region.
+#[derive(Clone, Debug)]
+pub struct DirtyBits {
+    bits: Vec<u64>,
+}
+
+impl DirtyBits {
+    /// Creates an array of `lines` dirtybits, all at [`EPOCH`].
+    pub fn new(lines: usize) -> DirtyBits {
+        DirtyBits {
+            bits: vec![EPOCH; lines],
+        }
+    }
+
+    /// Number of lines tracked.
+    pub fn lines(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Marks `line` dirty (stores zero, as the template does).
+    pub fn mark(&mut self, line: usize) {
+        self.bits[line] = DIRTY;
+    }
+
+    /// The raw dirtybit value of `line`.
+    pub fn get(&self, line: usize) -> u64 {
+        self.bits[line]
+    }
+
+    /// Stamps `line` with timestamp `ts` (requester side after applying an
+    /// update, or releaser side when lazily timestamping).
+    pub fn stamp(&mut self, line: usize, ts: u64) {
+        self.bits[line] = ts;
+    }
+
+    /// Scans lines `range` on behalf of a requester that last saw time
+    /// `last_seen`, lazily stamping freshly dirty lines with `now`.
+    ///
+    /// A line must be sent if it was modified after `last_seen`: either its
+    /// dirtybit is still [`DIRTY`] (modified since the last transfer — it is
+    /// stamped with `now` as a side effect, the paper's lazy timestamping)
+    /// or it carries a timestamp greater than `last_seen`.
+    pub fn scan(&mut self, range: std::ops::Range<usize>, last_seen: u64, now: u64) -> ScanOutcome {
+        let mut out = ScanOutcome::default();
+        for line in range {
+            let v = self.bits[line];
+            if v == DIRTY {
+                self.bits[line] = now;
+                out.dirty_reads += 1;
+                out.lines.push(line);
+            } else if v > last_seen {
+                out.dirty_reads += 1;
+                out.lines.push(line);
+            } else {
+                out.clean_reads += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Result of a dirtybit scan: which lines to send and the read counts
+/// feeding the paper's Table 2.
+#[derive(Clone, Debug, Default)]
+pub struct ScanOutcome {
+    /// Line indices (within the region) that must be sent.
+    pub lines: Vec<usize>,
+    /// Dirtybits read that were clean (5 cycles each in Table 1).
+    pub clean_reads: u64,
+    /// Dirtybits read that were dirty (4 cycles each; two memory references
+    /// each in Table 5's accounting, for the timestamp store).
+    pub dirty_reads: u64,
+}
+
+/// Result of a template invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TemplateHit {
+    /// Cycles charged for the inline code plus the template body.
+    pub cycles: u64,
+    /// Dirtybits stored (zero for a private-region hit).
+    pub lines_marked: u64,
+    /// True when a write to private memory went through the shared path
+    /// (the paper's six-instruction misclassification penalty).
+    pub misclassified: bool,
+}
+
+/// The dirtybit-update code template at the base of a region (Appendix A).
+///
+/// A real template is machine code specialized with the region's cache-line
+/// size and dirtybit base; here it is a small struct holding the same
+/// constants, with one `invoke` entry per store kind.
+#[derive(Clone, Copy, Debug)]
+pub struct Template {
+    class: MemClass,
+    line_shift: u32,
+}
+
+impl Template {
+    /// Builds the template for a region (done when the region is first
+    /// allocated, in the paper).
+    pub fn for_region(desc: &RegionDesc) -> Template {
+        Template {
+            class: desc.class,
+            line_shift: desc.line_shift,
+        }
+    }
+
+    /// The region's class.
+    pub fn class(&self) -> MemClass {
+        self.class
+    }
+
+    /// Invokes the template for a store of `kind` at `addr`, marking the
+    /// covered lines dirty in `bits`.
+    ///
+    /// The common cases — a store no larger than one cache line — cost the
+    /// paper's 9 cycles. The rarely-taken area path pays a call-out base
+    /// cost plus one store per covered line. A private-region template
+    /// returns immediately at the misclassification penalty of 6 cycles.
+    pub fn invoke(
+        &self,
+        bits: &mut DirtyBits,
+        addr: Addr,
+        kind: StoreKind,
+        cost: &CostModel,
+    ) -> TemplateHit {
+        if self.class == MemClass::Private {
+            return TemplateHit {
+                cycles: cost.dirtybit_set_private,
+                lines_marked: 0,
+                misclassified: true,
+            };
+        }
+        let len = kind.len().max(1);
+        let first = addr.line_in_region(self.line_shift);
+        let last = Addr(addr.raw() + (len as u64 - 1)).line_in_region(self.line_shift);
+        let nlines = (last - first + 1) as u64;
+        let single_line = first == last;
+        let cycles = match kind {
+            StoreKind::Byte | StoreKind::Halfword | StoreKind::Word if single_line => {
+                cost.dirtybit_set_word
+            }
+            StoreKind::Doubleword if single_line => cost.dirtybit_set_double,
+            _ => cost.dirtybit_set_area_base + nlines * cost.dirtybit_update,
+        };
+        for line in first..=last {
+            bits.mark(line);
+        }
+        TemplateHit {
+            cycles,
+            lines_marked: nlines,
+            misclassified: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{LayoutBuilder, MemClass};
+
+    fn shared_template(line_shift: u32) -> (Template, DirtyBits, Addr) {
+        let mut b = LayoutBuilder::new();
+        let a = b.alloc("t", 4096, MemClass::Shared, line_shift);
+        let layout = b.build();
+        let desc = layout.region_of(a.addr);
+        (
+            Template::for_region(desc),
+            DirtyBits::new(desc.lines()),
+            a.addr,
+        )
+    }
+
+    #[test]
+    fn doubleword_to_doubleword_line_costs_nine_cycles() {
+        let cost = CostModel::r3000_mach();
+        let (t, mut bits, base) = shared_template(3);
+        let hit = t.invoke(&mut bits, base + 16, StoreKind::Doubleword, &cost);
+        assert_eq!(hit.cycles, 9);
+        assert_eq!(hit.lines_marked, 1);
+        assert!(!hit.misclassified);
+        assert_eq!(bits.get(2), DIRTY);
+        assert_eq!(bits.get(1), EPOCH);
+    }
+
+    #[test]
+    fn word_to_word_line_costs_nine_cycles() {
+        let cost = CostModel::r3000_mach();
+        let (t, mut bits, base) = shared_template(2);
+        let hit = t.invoke(&mut bits, base + 4, StoreKind::Word, &cost);
+        assert_eq!(hit.cycles, 9);
+        assert_eq!(bits.get(1), DIRTY);
+    }
+
+    #[test]
+    fn private_template_returns_at_misclassification_cost() {
+        let cost = CostModel::r3000_mach();
+        let mut b = LayoutBuilder::new();
+        let a = b.alloc("p", 64, MemClass::Private, 3);
+        let layout = b.build();
+        let t = Template::for_region(layout.region_of(a.addr));
+        let mut bits = DirtyBits::new(8);
+        let hit = t.invoke(&mut bits, a.addr, StoreKind::Word, &cost);
+        assert_eq!(hit.cycles, 6);
+        assert_eq!(hit.lines_marked, 0);
+        assert!(hit.misclassified);
+        assert_eq!(
+            bits.get(0),
+            EPOCH,
+            "private template must not touch dirtybits"
+        );
+    }
+
+    #[test]
+    fn area_store_marks_every_covered_line() {
+        let cost = CostModel::r3000_mach();
+        let (t, mut bits, base) = shared_template(3);
+        // 40 bytes starting at offset 4 covers lines 0..=5.
+        let hit = t.invoke(&mut bits, base + 4, StoreKind::Area(40), &cost);
+        assert_eq!(hit.lines_marked, 6);
+        assert_eq!(
+            hit.cycles,
+            cost.dirtybit_set_area_base + 6 * cost.dirtybit_update
+        );
+        for line in 0..6 {
+            assert_eq!(bits.get(line), DIRTY);
+        }
+        assert_eq!(bits.get(6), EPOCH);
+    }
+
+    #[test]
+    fn doubleword_spanning_two_word_lines_takes_area_path() {
+        let cost = CostModel::r3000_mach();
+        let (t, mut bits, base) = shared_template(2);
+        let hit = t.invoke(&mut bits, base + 4, StoreKind::Doubleword, &cost);
+        assert_eq!(hit.lines_marked, 2);
+        assert!(hit.cycles > cost.dirtybit_set_double);
+    }
+
+    #[test]
+    fn scan_sends_dirty_and_newer_lines_and_stamps_lazily() {
+        let mut bits = DirtyBits::new(8);
+        bits.mark(1);
+        bits.stamp(2, 10); // modified at time 10 (already stamped)
+        bits.stamp(3, 3); // older than last_seen
+        let out = bits.scan(0..8, 5, 20);
+        assert_eq!(out.lines, vec![1, 2]);
+        assert_eq!(out.dirty_reads, 2);
+        assert_eq!(out.clean_reads, 6);
+        // Lazy stamping: the dirty line now carries the releaser's time.
+        assert_eq!(bits.get(1), 20);
+        assert_eq!(bits.get(2), 10);
+    }
+
+    #[test]
+    fn scan_with_epoch_last_seen_sends_everything_modified() {
+        let mut bits = DirtyBits::new(4);
+        bits.mark(0);
+        bits.stamp(2, 7);
+        let out = bits.scan(0..4, EPOCH, 9);
+        assert_eq!(out.lines, vec![0, 2]);
+    }
+
+    #[test]
+    fn store_kind_classification() {
+        assert_eq!(StoreKind::of_len(1), StoreKind::Byte);
+        assert_eq!(StoreKind::of_len(2), StoreKind::Halfword);
+        assert_eq!(StoreKind::of_len(4), StoreKind::Word);
+        assert_eq!(StoreKind::of_len(8), StoreKind::Doubleword);
+        assert_eq!(StoreKind::of_len(24), StoreKind::Area(24));
+        assert_eq!(StoreKind::Area(24).len(), 24);
+    }
+}

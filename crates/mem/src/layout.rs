@@ -1,0 +1,310 @@
+//! The global region table and allocator.
+//!
+//! The layout is built once during application setup and is identical on
+//! every processor (a real Midway program gets this property from running
+//! the same binary everywhere).
+
+use std::sync::Arc;
+
+use crate::addr::{Addr, AddrRange, REGION_SHIFT, REGION_SIZE};
+
+/// Classification of a region's data (paper §3.1): shared data is
+/// instrumented for write detection; private data is per-processor and a
+/// write to it through the shared path pays only the misclassification
+/// penalty.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemClass {
+    /// Shared between all processors.
+    Shared,
+    /// Private to each processor.
+    Private,
+}
+
+/// Identifies a region (its index in the address space).
+pub type RegionId = usize;
+
+/// Descriptor of one region.
+#[derive(Clone, Debug)]
+pub struct RegionDesc {
+    /// The region's index; its base address is `id << REGION_SHIFT`.
+    pub id: RegionId,
+    /// Shared or private.
+    pub class: MemClass,
+    /// Cache-line size, as a shift (line size is `1 << line_shift` bytes).
+    pub line_shift: u32,
+    /// Bytes allocated within the region so far.
+    pub used: usize,
+}
+
+impl RegionDesc {
+    /// The region's base address.
+    pub fn base(&self) -> Addr {
+        Addr((self.id as u64) << REGION_SHIFT)
+    }
+
+    /// Cache-line size in bytes.
+    pub fn line_size(&self) -> usize {
+        1 << self.line_shift
+    }
+
+    /// Number of cache lines covering the used portion of the region.
+    pub fn lines(&self) -> usize {
+        self.used.div_ceil(self.line_size())
+    }
+
+    /// Number of pages covering the used portion of the region.
+    pub fn pages(&self) -> usize {
+        self.used.div_ceil(crate::addr::PAGE_SIZE)
+    }
+}
+
+/// One named allocation (possibly spanning several contiguous regions).
+#[derive(Clone, Debug)]
+pub struct Alloc {
+    /// Name, for reports and debugging.
+    pub name: String,
+    /// First byte.
+    pub addr: Addr,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+impl Alloc {
+    /// The allocation's address range.
+    pub fn range(&self) -> AddrRange {
+        self.addr.raw()..self.addr.raw() + self.len as u64
+    }
+}
+
+/// The immutable global region table, shared by every processor.
+#[derive(Debug)]
+pub struct Layout {
+    regions: Vec<Option<RegionDesc>>,
+    allocs: Vec<Alloc>,
+}
+
+impl Layout {
+    /// Looks up the region containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not inside any allocated region — the moral
+    /// equivalent of a wild pointer in the original system.
+    pub fn region_of(&self, addr: Addr) -> &RegionDesc {
+        self.regions
+            .get(addr.region_index())
+            .and_then(|r| r.as_ref())
+            .unwrap_or_else(|| panic!("address {addr} is outside every region"))
+    }
+
+    /// The region with index `id`, if allocated.
+    pub fn region(&self, id: RegionId) -> Option<&RegionDesc> {
+        self.regions.get(id).and_then(|r| r.as_ref())
+    }
+
+    /// Number of region slots (max region index + 1).
+    pub fn region_slots(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Iterates over all allocated regions.
+    pub fn regions(&self) -> impl Iterator<Item = &RegionDesc> {
+        self.regions.iter().filter_map(|r| r.as_ref())
+    }
+
+    /// All named allocations, in allocation order.
+    pub fn allocs(&self) -> &[Alloc] {
+        &self.allocs
+    }
+
+    /// Total bytes of shared data allocated.
+    pub fn shared_bytes(&self) -> usize {
+        self.regions()
+            .filter(|r| r.class == MemClass::Shared)
+            .map(|r| r.used)
+            .sum()
+    }
+}
+
+/// Builds a [`Layout`] by bump allocation.
+///
+/// Allocations with the same class and line size share a region until it
+/// fills; an allocation larger than a region gets a run of contiguous
+/// regions (lines and pages never straddle region boundaries, so
+/// per-region bookkeeping still works).
+pub struct LayoutBuilder {
+    regions: Vec<Option<RegionDesc>>,
+    allocs: Vec<Alloc>,
+    /// Open region per (class, line_shift), if any: (region id).
+    open: Vec<((MemClass, u32), RegionId)>,
+}
+
+impl LayoutBuilder {
+    /// Creates an empty builder. Region 0 is reserved (null addresses).
+    pub fn new() -> LayoutBuilder {
+        LayoutBuilder {
+            regions: vec![None],
+            allocs: Vec::new(),
+            open: Vec::new(),
+        }
+    }
+
+    /// Allocates `len` bytes of `class` memory with `1 << line_shift`-byte
+    /// cache lines, aligned to the line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_shift` does not describe a line between 4 bytes and
+    /// one page, or if `len` is zero.
+    pub fn alloc(&mut self, name: &str, len: usize, class: MemClass, line_shift: u32) -> Alloc {
+        assert!(len > 0, "zero-length allocation {name:?}");
+        assert!(
+            (2..=crate::addr::PAGE_SHIFT).contains(&line_shift),
+            "line shift {line_shift} out of range (4 bytes ..= one page)"
+        );
+        let line = 1usize << line_shift;
+        let addr = if len > REGION_SIZE {
+            self.alloc_region_run(len, class, line_shift)
+        } else {
+            self.alloc_within_region(len, line, class, line_shift)
+        };
+        let alloc = Alloc {
+            name: name.to_string(),
+            addr,
+            len,
+        };
+        self.allocs.push(alloc.clone());
+        alloc
+    }
+
+    /// Finishes the layout.
+    pub fn build(self) -> Arc<Layout> {
+        Arc::new(Layout {
+            regions: self.regions,
+            allocs: self.allocs,
+        })
+    }
+
+    fn alloc_within_region(
+        &mut self,
+        len: usize,
+        line: usize,
+        class: MemClass,
+        line_shift: u32,
+    ) -> Addr {
+        let key = (class, line_shift);
+        let open_id = self.open.iter().find(|(k, _)| *k == key).map(|(_, id)| *id);
+        if let Some(id) = open_id {
+            let desc = self.regions[id].as_mut().expect("open region exists");
+            let start = desc.used.next_multiple_of(line);
+            if start + len <= REGION_SIZE {
+                desc.used = start + len;
+                return desc.base() + start as u64;
+            }
+        }
+        // Open a fresh region for this (class, line) combination.
+        let id = self.push_region(class, line_shift, len);
+        self.open.retain(|(k, _)| *k != key);
+        self.open.push((key, id));
+        Addr((id as u64) << REGION_SHIFT)
+    }
+
+    fn alloc_region_run(&mut self, len: usize, class: MemClass, line_shift: u32) -> Addr {
+        let first = self.regions.len();
+        let mut remaining = len;
+        while remaining > 0 {
+            let used = remaining.min(REGION_SIZE);
+            self.push_region(class, line_shift, used);
+            remaining -= used;
+        }
+        Addr((first as u64) << REGION_SHIFT)
+    }
+
+    fn push_region(&mut self, class: MemClass, line_shift: u32, used: usize) -> RegionId {
+        let id = self.regions.len();
+        self.regions.push(Some(RegionDesc {
+            id,
+            class,
+            line_shift,
+            used,
+        }));
+        id
+    }
+}
+
+impl Default for LayoutBuilder {
+    fn default() -> Self {
+        LayoutBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_share_compatible_regions() {
+        let mut b = LayoutBuilder::new();
+        let a = b.alloc("a", 100, MemClass::Shared, 3);
+        let c = b.alloc("c", 100, MemClass::Shared, 3);
+        let layout = b.build();
+        assert_eq!(a.addr.region_index(), c.addr.region_index());
+        // Second allocation is line-aligned after the first.
+        assert_eq!(c.addr.raw(), a.addr.raw() + 104);
+        assert_eq!(layout.region_of(a.addr).used, 204);
+    }
+
+    #[test]
+    fn different_line_sizes_get_different_regions() {
+        let mut b = LayoutBuilder::new();
+        let a = b.alloc("a", 100, MemClass::Shared, 3);
+        let c = b.alloc("c", 100, MemClass::Shared, 6);
+        assert_ne!(a.addr.region_index(), c.addr.region_index());
+    }
+
+    #[test]
+    fn private_and_shared_never_mix() {
+        let mut b = LayoutBuilder::new();
+        let a = b.alloc("a", 100, MemClass::Shared, 3);
+        let p = b.alloc("p", 100, MemClass::Private, 3);
+        let layout = b.build();
+        assert_ne!(a.addr.region_index(), p.addr.region_index());
+        assert_eq!(layout.region_of(p.addr).class, MemClass::Private);
+    }
+
+    #[test]
+    fn huge_allocation_spans_contiguous_regions() {
+        let mut b = LayoutBuilder::new();
+        let big = b.alloc("big", REGION_SIZE * 2 + 10, MemClass::Shared, 12);
+        let layout = b.build();
+        let first = big.addr.region_index();
+        assert!(layout.region(first).is_some());
+        assert!(layout.region(first + 1).is_some());
+        assert_eq!(layout.region(first + 2).unwrap().used, 10);
+        assert_eq!(big.addr.region_offset(), 0);
+    }
+
+    #[test]
+    fn shared_bytes_counts_only_shared_regions() {
+        let mut b = LayoutBuilder::new();
+        b.alloc("s", 1000, MemClass::Shared, 3);
+        b.alloc("p", 5000, MemClass::Private, 3);
+        let layout = b.build();
+        assert_eq!(layout.shared_bytes(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside every region")]
+    fn wild_address_panics() {
+        let layout = LayoutBuilder::new().build();
+        layout.region_of(Addr(0x1234));
+    }
+
+    #[test]
+    fn full_region_rolls_over() {
+        let mut b = LayoutBuilder::new();
+        let a = b.alloc("a", REGION_SIZE - 4, MemClass::Shared, 2);
+        let c = b.alloc("c", 64, MemClass::Shared, 2);
+        assert_ne!(a.addr.region_index(), c.addr.region_index());
+    }
+}

@@ -1,0 +1,199 @@
+//! Simulated virtual-memory state for VM-DSM write trapping.
+//!
+//! Paper §3.3: shared pages start read-only and clean. The first store to a
+//! page write-faults; the runtime saves a copy of the page (its *twin*),
+//! marks it dirty, and grants write access. Collection later diffs the page
+//! against the twin; once all modified data has been shipped, the page is
+//! cleaned: twin freed, page write-protected again.
+
+use std::sync::Arc;
+
+use crate::addr::PAGE_SIZE;
+use crate::layout::Layout;
+
+/// Result of probing a store against the page protection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WriteAccess {
+    /// The page is writable; the store proceeds at full speed.
+    Ok,
+    /// The page is write-protected; a fault must be serviced first.
+    Fault,
+}
+
+#[derive(Debug, Default)]
+struct PageMeta {
+    writable: bool,
+    twin: Option<Box<[u8]>>,
+}
+
+#[derive(Debug)]
+struct RegionPages {
+    pages: Vec<PageMeta>,
+}
+
+/// One processor's page table over the whole layout.
+///
+/// Only the *application write path* consults protection; the DSM runtime
+/// itself applies incoming updates directly (the real system applies them
+/// through a privileged mapping).
+pub struct PageTable {
+    layout: Arc<Layout>,
+    regions: Vec<Option<RegionPages>>,
+}
+
+impl PageTable {
+    /// Creates a page table with every page write-protected and clean.
+    pub fn new(layout: Arc<Layout>) -> PageTable {
+        let slots = layout.region_slots();
+        PageTable {
+            layout,
+            regions: (0..slots).map(|_| None).collect(),
+        }
+    }
+
+    /// Probes a store to page `page` of region `region`.
+    pub fn store_probe(&mut self, region: usize, page: usize) -> WriteAccess {
+        if self.meta(region, page).writable {
+            WriteAccess::Ok
+        } else {
+            WriteAccess::Fault
+        }
+    }
+
+    /// Services a write fault: saves `current` as the page's twin, marks
+    /// the page dirty and writable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already writable (spurious fault).
+    pub fn fault_in(&mut self, region: usize, page: usize, current: &[u8]) {
+        let meta = self.meta(region, page);
+        assert!(!meta.writable, "fault on a writable page");
+        meta.twin = Some(current.to_vec().into_boxed_slice());
+        meta.writable = true;
+    }
+
+    /// Whether the page is dirty (has a twin).
+    pub fn is_dirty(&mut self, region: usize, page: usize) -> bool {
+        self.meta(region, page).twin.is_some()
+    }
+
+    /// Whether the page is writable.
+    pub fn is_writable(&mut self, region: usize, page: usize) -> bool {
+        self.meta(region, page).writable
+    }
+
+    /// The page's twin, if dirty.
+    pub fn twin(&mut self, region: usize, page: usize) -> Option<&[u8]> {
+        self.meta(region, page).twin.as_deref()
+    }
+
+    /// Mutable access to the twin (incoming updates are applied to the twin
+    /// of a dirty page so they are not later mistaken for local writes).
+    pub fn twin_mut(&mut self, region: usize, page: usize) -> Option<&mut [u8]> {
+        self.meta(region, page).twin.as_deref_mut()
+    }
+
+    /// Cleans the page: frees the twin and write-protects it again.
+    pub fn clean(&mut self, region: usize, page: usize) {
+        let meta = self.meta(region, page);
+        meta.twin = None;
+        meta.writable = false;
+    }
+
+    /// The dirty pages among `pages` (within one region), in order.
+    pub fn dirty_pages_in(&mut self, region: usize, pages: std::ops::Range<usize>) -> Vec<usize> {
+        pages
+            .filter(|p| self.meta(region, *p).twin.is_some())
+            .collect()
+    }
+
+    fn meta(&mut self, region: usize, page: usize) -> &mut PageMeta {
+        let desc = self
+            .layout
+            .region(region)
+            .unwrap_or_else(|| panic!("no region {region}"));
+        let npages = desc.used.div_ceil(PAGE_SIZE);
+        let slot = &mut self.regions[region];
+        let pages = slot.get_or_insert_with(|| RegionPages {
+            pages: (0..npages).map(|_| PageMeta::default()).collect(),
+        });
+        &mut pages.pages[page]
+    }
+}
+
+impl std::fmt::Debug for PageTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let materialized = self.regions.iter().filter(|r| r.is_some()).count();
+        f.debug_struct("PageTable")
+            .field("regions_materialized", &materialized)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{LayoutBuilder, MemClass};
+
+    fn table() -> (PageTable, usize) {
+        let mut b = LayoutBuilder::new();
+        let a = b.alloc("t", 3 * PAGE_SIZE + 100, MemClass::Shared, 12);
+        let layout = b.build();
+        let region = a.addr.region_index();
+        (PageTable::new(layout), region)
+    }
+
+    #[test]
+    fn pages_start_protected_and_clean() {
+        let (mut pt, r) = table();
+        assert_eq!(pt.store_probe(r, 0), WriteAccess::Fault);
+        assert!(!pt.is_dirty(r, 0));
+    }
+
+    #[test]
+    fn fault_creates_twin_and_grants_write() {
+        let (mut pt, r) = table();
+        let content = vec![7u8; PAGE_SIZE];
+        pt.fault_in(r, 1, &content);
+        assert_eq!(pt.store_probe(r, 1), WriteAccess::Ok);
+        assert!(pt.is_dirty(r, 1));
+        assert_eq!(pt.twin(r, 1).unwrap(), &content[..]);
+        // Other pages unaffected.
+        assert_eq!(pt.store_probe(r, 0), WriteAccess::Fault);
+    }
+
+    #[test]
+    fn clean_drops_twin_and_reprotects() {
+        let (mut pt, r) = table();
+        pt.fault_in(r, 0, &[1u8; PAGE_SIZE]);
+        pt.clean(r, 0);
+        assert!(!pt.is_dirty(r, 0));
+        assert_eq!(pt.store_probe(r, 0), WriteAccess::Fault);
+    }
+
+    #[test]
+    fn dirty_page_enumeration() {
+        let (mut pt, r) = table();
+        pt.fault_in(r, 0, &[0u8; PAGE_SIZE]);
+        pt.fault_in(r, 3, &[0u8; 100]); // final partial page
+        assert_eq!(pt.dirty_pages_in(r, 0..4), vec![0, 3]);
+        assert_eq!(pt.dirty_pages_in(r, 1..3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn twin_mut_allows_update_application() {
+        let (mut pt, r) = table();
+        pt.fault_in(r, 2, &[0u8; PAGE_SIZE]);
+        pt.twin_mut(r, 2).unwrap()[10] = 99;
+        assert_eq!(pt.twin(r, 2).unwrap()[10], 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault on a writable page")]
+    fn double_fault_is_a_bug() {
+        let (mut pt, r) = table();
+        pt.fault_in(r, 0, &[0u8; PAGE_SIZE]);
+        pt.fault_in(r, 0, &[0u8; PAGE_SIZE]);
+    }
+}

@@ -1,0 +1,193 @@
+//! A processor's local cached copy of the address space.
+
+use std::sync::Arc;
+
+use crate::addr::Addr;
+use crate::layout::Layout;
+
+/// One processor's backing memory.
+///
+/// Every processor caches shared data locally (the DSM's update protocol
+/// keeps caches consistent at synchronization points), so a `LocalStore`
+/// holds a full copy of each region's used bytes, materialized lazily and
+/// zero-filled — matching the zero-initialized heap the applications assume.
+pub struct LocalStore {
+    layout: Arc<Layout>,
+    regions: Vec<Option<Box<[u8]>>>,
+}
+
+impl LocalStore {
+    /// Creates an empty store over `layout`.
+    pub fn new(layout: Arc<Layout>) -> LocalStore {
+        let slots = layout.region_slots();
+        LocalStore {
+            layout,
+            regions: (0..slots).map(|_| None).collect(),
+        }
+    }
+
+    /// The layout this store is built over.
+    pub fn layout(&self) -> &Arc<Layout> {
+        &self.layout
+    }
+
+    /// Immutable bytes at `[addr, addr + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range leaves the containing region's used bytes
+    /// (ranges spanning regions must be split by the caller with
+    /// [`crate::split_by_region`]).
+    pub fn bytes(&mut self, addr: Addr, len: usize) -> &[u8] {
+        let (region, off) = self.locate(addr, len);
+        &region[off..off + len]
+    }
+
+    /// Mutable bytes at `[addr, addr + len)`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`bytes`](Self::bytes).
+    pub fn bytes_mut(&mut self, addr: Addr, len: usize) -> &mut [u8] {
+        let (region, off) = self.locate(addr, len);
+        &mut region[off..off + len]
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self, addr: Addr) -> u32 {
+        u32::from_le_bytes(self.bytes(addr, 4).try_into().expect("4 bytes"))
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: Addr, v: u32) {
+        self.bytes_mut(addr, 4).copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self, addr: Addr) -> u64 {
+        u64::from_le_bytes(self.bytes(addr, 8).try_into().expect("8 bytes"))
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: Addr, v: u64) {
+        self.bytes_mut(addr, 8).copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn read_f64(&mut self, addr: Addr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes a little-endian `f64`.
+    pub fn write_f64(&mut self, addr: Addr, v: f64) {
+        self.write_u64(addr, v.to_bits());
+    }
+
+    /// Reads a little-endian `i32`.
+    pub fn read_i32(&mut self, addr: Addr) -> i32 {
+        self.read_u32(addr) as i32
+    }
+
+    /// Writes a little-endian `i32`.
+    pub fn write_i32(&mut self, addr: Addr, v: i32) {
+        self.write_u32(addr, v as u32);
+    }
+
+    /// Copies `src` into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: Addr, src: &[u8]) {
+        self.bytes_mut(addr, src.len()).copy_from_slice(src);
+    }
+
+    fn locate(&mut self, addr: Addr, len: usize) -> (&mut Box<[u8]>, usize) {
+        let idx = addr.region_index();
+        let desc = self.layout.region(idx).unwrap_or_else(|| {
+            panic!("address {addr} is outside every region");
+        });
+        let off = addr.region_offset();
+        assert!(
+            off + len <= desc.used,
+            "access [{addr}, +{len}) overruns region {idx} (used {})",
+            desc.used
+        );
+        let used = desc.used;
+        let slot = &mut self.regions[idx];
+        let region = slot.get_or_insert_with(|| vec![0u8; used].into_boxed_slice());
+        // A region may have been materialized when fewer bytes were used if
+        // the layout were mutable; layouts are immutable so sizes agree.
+        debug_assert_eq!(region.len(), used);
+        (region, off)
+    }
+}
+
+impl std::fmt::Debug for LocalStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let materialized = self.regions.iter().filter(|r| r.is_some()).count();
+        f.debug_struct("LocalStore")
+            .field("regions_materialized", &materialized)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{LayoutBuilder, MemClass};
+
+    fn store_with(len: usize) -> (LocalStore, Addr) {
+        let mut b = LayoutBuilder::new();
+        let a = b.alloc("t", len, MemClass::Shared, 3);
+        (LocalStore::new(b.build()), a.addr)
+    }
+
+    #[test]
+    fn memory_starts_zeroed() {
+        let (mut s, a) = store_with(64);
+        assert_eq!(s.read_u64(a), 0);
+        assert_eq!(s.read_f64(a + 8), 0.0);
+    }
+
+    #[test]
+    fn typed_round_trips() {
+        let (mut s, a) = store_with(64);
+        s.write_u32(a, 0xDEAD_BEEF);
+        s.write_f64(a + 8, -2.5);
+        s.write_i32(a + 16, -7);
+        s.write_u64(a + 24, u64::MAX);
+        assert_eq!(s.read_u32(a), 0xDEAD_BEEF);
+        assert_eq!(s.read_f64(a + 8), -2.5);
+        assert_eq!(s.read_i32(a + 16), -7);
+        assert_eq!(s.read_u64(a + 24), u64::MAX);
+    }
+
+    #[test]
+    fn bulk_bytes_round_trip() {
+        let (mut s, a) = store_with(128);
+        let src: Vec<u8> = (0..100).collect();
+        s.write_bytes(a + 10, &src);
+        assert_eq!(s.bytes(a + 10, 100), &src[..]);
+        // Neighbours untouched.
+        assert_eq!(s.read_u64(a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns region")]
+    fn overrun_is_caught() {
+        let (mut s, a) = store_with(16);
+        s.write_u64(a + 12, 1);
+    }
+
+    #[test]
+    fn stores_are_independent_per_processor() {
+        let mut b = LayoutBuilder::new();
+        let a = b.alloc("t", 64, MemClass::Shared, 3);
+        let layout = b.build();
+        let mut p0 = LocalStore::new(Arc::clone(&layout));
+        let mut p1 = LocalStore::new(layout);
+        p0.write_u64(a.addr, 42);
+        assert_eq!(
+            p1.read_u64(a.addr),
+            0,
+            "no magic coherence without the protocol"
+        );
+    }
+}

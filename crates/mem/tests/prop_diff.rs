@@ -1,0 +1,74 @@
+//! Property-based tests for the diff engine.
+
+use midway_mem::diff::{PageDiff, WORD};
+use proptest::prelude::*;
+
+fn page_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (1usize..=512).prop_flat_map(|len| {
+        (
+            proptest::collection::vec(any::<u8>(), len),
+            proptest::collection::vec(any::<u8>(), len),
+        )
+    })
+}
+
+proptest! {
+    /// `apply(compute(cur, twin), twin) == cur` for arbitrary contents.
+    #[test]
+    fn compute_apply_round_trips((cur, twin) in page_pair()) {
+        let diff = PageDiff::compute(&cur, &twin);
+        let mut rebuilt = twin.clone();
+        diff.apply(&mut rebuilt);
+        prop_assert_eq!(rebuilt, cur);
+    }
+
+    /// Runs are maximal, ordered and word-aligned at the start.
+    #[test]
+    fn runs_are_canonical((cur, twin) in page_pair()) {
+        let diff = PageDiff::compute(&cur, &twin);
+        let mut prev_end = None;
+        for run in &diff.runs {
+            prop_assert_eq!(run.offset % WORD, 0, "runs start on word boundaries");
+            prop_assert!(!run.data.is_empty());
+            if let Some(end) = prev_end {
+                prop_assert!(run.offset > end, "runs are ordered and non-adjacent");
+            }
+            prev_end = Some(run.offset + run.data.len());
+        }
+    }
+
+    /// A diff restricted to ranges covers exactly the intersection bytes,
+    /// and `covered_by` agrees with the restriction being lossless.
+    #[test]
+    fn restrict_is_an_intersection(
+        (cur, twin) in page_pair(),
+        cut in 0usize..512,
+    ) {
+        let len = cur.len();
+        let ranges = vec![0..cut.min(len)];
+        let diff = PageDiff::compute(&cur, &twin);
+        let restricted = diff.restrict(&ranges);
+        for run in &restricted.runs {
+            prop_assert!(run.offset + run.data.len() <= cut.min(len));
+        }
+        let lossless = restricted.changed_bytes() == diff.changed_bytes();
+        prop_assert_eq!(diff.covered_by(&ranges), lossless);
+        // Applying the restricted diff to the twin makes the prefix match.
+        let mut rebuilt = twin.clone();
+        restricted.apply(&mut rebuilt);
+        let boundary = cut.min(len);
+        // Word granularity may pull in up to WORD-1 bytes past the cut.
+        let safe = boundary.saturating_sub(boundary % WORD);
+        prop_assert_eq!(&rebuilt[..safe], &cur[..safe]);
+    }
+
+    /// The wire size is data plus one header per run.
+    #[test]
+    fn wire_size_accounting((cur, twin) in page_pair()) {
+        let diff = PageDiff::compute(&cur, &twin);
+        prop_assert_eq!(
+            diff.wire_size(),
+            diff.changed_bytes() + diff.run_count() * midway_mem::diff::RUN_HEADER_BYTES
+        );
+    }
+}

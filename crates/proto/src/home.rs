@@ -1,0 +1,340 @@
+//! Home-node lock and manager-node barrier state machines.
+//!
+//! Paper §3: "When a processor acquires a lock that was last acquired on
+//! another processor, the first processor (the requester) must send a
+//! message to the second processor (the releaser)". We route requests
+//! through a static *home* that serializes grants and knows the owner of
+//! record; the data (and write collection) flows directly from the last
+//! releaser to the requester.
+//!
+//! These state machines are pure: they receive events and return the
+//! transfers to initiate, so they can be tested without a simulator.
+
+use std::collections::VecDeque;
+
+use crate::sync_id::Mode;
+use crate::update::UpdateSet;
+
+/// An opaque "what the requester has already seen" token, forwarded
+/// verbatim from the acquire request to the releaser. RT-DSM stores a
+/// Lamport time; VM-DSM stores (incarnation, binding version).
+pub type SeenToken = (u64, u64);
+
+/// A data transfer the home asks the owner of record to perform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transfer {
+    /// The processor that must run write collection (the owner of record).
+    pub old_owner: usize,
+    /// The processor acquiring the lock.
+    pub requester: usize,
+    /// The acquisition mode.
+    pub mode: Mode,
+    /// The requester's last-seen token.
+    pub seen: SeenToken,
+}
+
+/// Home-side state of one lock.
+///
+/// Fairness is FIFO: a request queues behind earlier waiters even if it
+/// could be granted immediately, so writers never starve behind a stream
+/// of readers. Consecutive readers at the head are granted together.
+#[derive(Debug)]
+pub struct HomeLock {
+    owner: usize,
+    held_exclusive: bool,
+    readers: usize,
+    queue: VecDeque<(usize, Mode, SeenToken)>,
+}
+
+impl HomeLock {
+    /// Creates the lock with `initial_owner` as owner of record (whose
+    /// zero-initialized cache is the initial data).
+    pub fn new(initial_owner: usize) -> HomeLock {
+        HomeLock {
+            owner: initial_owner,
+            held_exclusive: false,
+            readers: 0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// The owner of record: the last exclusive holder (or the initial
+    /// owner), whose cache is current.
+    pub fn owner(&self) -> usize {
+        self.owner
+    }
+
+    /// Whether the lock is currently held exclusively.
+    pub fn held_exclusive(&self) -> bool {
+        self.held_exclusive
+    }
+
+    /// Number of active readers.
+    pub fn readers(&self) -> usize {
+        self.readers
+    }
+
+    /// Processor `from` requests the lock. Returns transfers to initiate.
+    pub fn acquire(&mut self, from: usize, mode: Mode, seen: SeenToken) -> Vec<Transfer> {
+        self.queue.push_back((from, mode, seen));
+        self.drain()
+    }
+
+    /// Processor `from` releases the lock. Returns transfers to initiate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a release that does not match a grant (protocol bug).
+    pub fn release(&mut self, from: usize, mode: Mode) -> Vec<Transfer> {
+        match mode {
+            Mode::Exclusive => {
+                assert!(
+                    self.held_exclusive && self.owner == from,
+                    "exclusive release by non-owner {from}"
+                );
+                self.held_exclusive = false;
+            }
+            Mode::Shared => {
+                assert!(self.readers > 0, "shared release with no readers");
+                self.readers -= 1;
+            }
+        }
+        self.drain()
+    }
+
+    fn grantable(&self, mode: Mode) -> bool {
+        match mode {
+            Mode::Exclusive => !self.held_exclusive && self.readers == 0,
+            Mode::Shared => !self.held_exclusive,
+        }
+    }
+
+    fn drain(&mut self) -> Vec<Transfer> {
+        let mut out = Vec::new();
+        while let Some(&(from, mode, seen)) = self.queue.front() {
+            if !self.grantable(mode) {
+                break;
+            }
+            self.queue.pop_front();
+            match mode {
+                Mode::Exclusive => {
+                    self.held_exclusive = true;
+                    let old = self.owner;
+                    self.owner = from;
+                    out.push(Transfer {
+                        old_owner: old,
+                        requester: from,
+                        mode,
+                        seen,
+                    });
+                }
+                Mode::Shared => {
+                    self.readers += 1;
+                    out.push(Transfer {
+                        old_owner: self.owner,
+                        requester: from,
+                        mode,
+                        seen,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// What the barrier manager hands back when the last processor arrives.
+#[derive(Debug)]
+pub struct BarrierRelease {
+    /// The episode that just completed.
+    pub episode: u64,
+    /// Per-processor release payloads: the merged updates minus each
+    /// processor's own contribution.
+    pub per_proc: Vec<UpdateSet>,
+}
+
+/// Manager-side state of one barrier.
+#[derive(Debug)]
+pub struct BarrierSite {
+    procs: usize,
+    episode: u64,
+    arrived: Vec<bool>,
+    arrivals: usize,
+    merged: UpdateSet,
+    contributions: Vec<UpdateSet>,
+}
+
+impl BarrierSite {
+    /// A barrier over `procs` processors, at episode 0.
+    pub fn new(procs: usize) -> BarrierSite {
+        BarrierSite {
+            procs,
+            episode: 0,
+            arrived: vec![false; procs],
+            arrivals: 0,
+            merged: UpdateSet::new(),
+            contributions: (0..procs).map(|_| UpdateSet::new()).collect(),
+        }
+    }
+
+    /// The episode currently being gathered.
+    pub fn episode(&self) -> u64 {
+        self.episode
+    }
+
+    /// Processor `from` arrives with its collected updates. Returns the
+    /// release when this completes the episode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` arrives twice in one episode.
+    pub fn arrive(&mut self, from: usize, update: UpdateSet) -> Option<BarrierRelease> {
+        assert!(!self.arrived[from], "processor {from} arrived twice");
+        self.arrived[from] = true;
+        self.arrivals += 1;
+        self.merged.merge_newer(update.clone());
+        self.contributions[from] = update;
+        if self.arrivals < self.procs {
+            return None;
+        }
+        // Episode complete: build per-processor payloads and reset.
+        let merged = std::mem::take(&mut self.merged);
+        let contributions = std::mem::replace(
+            &mut self.contributions,
+            (0..self.procs).map(|_| UpdateSet::new()).collect(),
+        );
+        let per_proc = contributions
+            .iter()
+            .map(|own| merged.excluding_addrs_of(own))
+            .collect();
+        let episode = self.episode;
+        self.episode += 1;
+        self.arrived.fill(false);
+        self.arrivals = 0;
+        Some(BarrierRelease { episode, per_proc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::UpdateItem;
+
+    const SEEN: SeenToken = (0, 0);
+
+    #[test]
+    fn uncontended_exclusive_transfers_from_owner_of_record() {
+        let mut l = HomeLock::new(0);
+        let t = l.acquire(3, Mode::Exclusive, SEEN);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].old_owner, 0);
+        assert_eq!(t[0].requester, 3);
+        assert_eq!(l.owner(), 3);
+        assert!(l.held_exclusive());
+    }
+
+    #[test]
+    fn contended_exclusive_queues_fifo() {
+        let mut l = HomeLock::new(0);
+        assert_eq!(l.acquire(1, Mode::Exclusive, SEEN).len(), 1);
+        assert!(l.acquire(2, Mode::Exclusive, SEEN).is_empty());
+        assert!(l.acquire(3, Mode::Exclusive, SEEN).is_empty());
+        let t = l.release(1, Mode::Exclusive);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].old_owner, 1);
+        assert_eq!(t[0].requester, 2);
+        let t = l.release(2, Mode::Exclusive);
+        assert_eq!(t[0].requester, 3);
+    }
+
+    #[test]
+    fn readers_share_and_do_not_take_ownership() {
+        let mut l = HomeLock::new(0);
+        let t1 = l.acquire(1, Mode::Shared, SEEN);
+        let t2 = l.acquire(2, Mode::Shared, SEEN);
+        assert_eq!(t1[0].old_owner, 0);
+        assert_eq!(t2[0].old_owner, 0);
+        assert_eq!(l.owner(), 0, "readers leave the owner of record alone");
+        assert_eq!(l.readers(), 2);
+    }
+
+    #[test]
+    fn writer_waits_for_readers_then_readers_batch_after() {
+        let mut l = HomeLock::new(0);
+        l.acquire(1, Mode::Shared, SEEN);
+        assert!(l.acquire(2, Mode::Exclusive, SEEN).is_empty());
+        // A reader behind a waiting writer queues (no starvation).
+        assert!(l.acquire(3, Mode::Shared, SEEN).is_empty());
+        let t = l.release(1, Mode::Shared);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].requester, 2);
+        // Writer done: the queued reader is granted from the new owner.
+        let t = l.release(2, Mode::Exclusive);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].requester, 3);
+        assert_eq!(t[0].old_owner, 2);
+    }
+
+    #[test]
+    fn reacquire_by_owner_transfers_from_self() {
+        let mut l = HomeLock::new(5);
+        let t = l.acquire(5, Mode::Exclusive, SEEN);
+        assert_eq!(t[0].old_owner, 5);
+        assert_eq!(t[0].requester, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exclusive release by non-owner")]
+    fn mismatched_release_panics() {
+        let mut l = HomeLock::new(0);
+        l.acquire(1, Mode::Exclusive, SEEN);
+        l.release(2, Mode::Exclusive);
+    }
+
+    fn item(addr: u64, ts: u64) -> UpdateItem {
+        UpdateItem {
+            addr,
+            data: vec![ts as u8; 4],
+            ts,
+        }
+    }
+
+    #[test]
+    fn barrier_releases_when_all_arrive() {
+        let mut b = BarrierSite::new(3);
+        assert!(b
+            .arrive(
+                0,
+                UpdateSet {
+                    items: vec![item(0, 1)]
+                }
+            )
+            .is_none());
+        assert!(b
+            .arrive(
+                2,
+                UpdateSet {
+                    items: vec![item(8, 2)]
+                }
+            )
+            .is_none());
+        let rel = b.arrive(1, UpdateSet::new()).unwrap();
+        assert_eq!(rel.episode, 0);
+        // Each processor receives the others' updates, not its own.
+        assert_eq!(rel.per_proc[0].items.len(), 1);
+        assert_eq!(rel.per_proc[0].items[0].addr, 8);
+        assert_eq!(rel.per_proc[1].items.len(), 2);
+        assert_eq!(rel.per_proc[2].items[0].addr, 0);
+        // Ready for the next episode.
+        assert_eq!(b.episode(), 1);
+        assert!(b.arrive(0, UpdateSet::new()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived twice")]
+    fn double_arrival_is_a_bug() {
+        let mut b = BarrierSite::new(2);
+        b.arrive(0, UpdateSet::new());
+        b.arrive(0, UpdateSet::new());
+    }
+}

@@ -1,0 +1,40 @@
+//! Entry-consistency protocol pieces for the Midway DSM reproduction.
+//!
+//! Midway (paper §3) provides *entry consistency*: processes synchronize
+//! through locks and barriers, the programmer binds data to each
+//! synchronization object, and at a synchronization point exactly the bound
+//! data is made consistent. This crate holds the protocol's building
+//! blocks, kept free of any simulator dependency so each piece is
+//! unit-testable in isolation:
+//!
+//! * [`LamportClock`] — the logical time that orders cache-line updates in
+//!   RT-DSM (§3.2).
+//! * [`Binding`] — the lock/barrier ↔ data association, including the
+//!   dynamic rebinding `quicksort` exercises.
+//! * [`UpdateSet`]/[`Update`] — the consistency updates shipped between
+//!   processors, with wire-size accounting.
+//! * [`rt`] — RT-DSM write collection: timestamp dirtybit scans and update
+//!   application (§3.2).
+//! * [`vm`] — VM-DSM write collection: twins, diffs, and the per-lock
+//!   incarnation history (§3.4).
+//! * [`blast`] — the §3.5 strawman that ships all bound data with no write
+//!   detection at all.
+//! * [`HomeLock`] — the home-node lock state machine (exclusive and
+//!   non-exclusive modes).
+//! * [`BarrierSite`] — the manager-side barrier state machine.
+
+mod binding;
+pub mod blast;
+mod clock;
+mod home;
+pub mod rt;
+mod sync_id;
+pub mod untargetted;
+mod update;
+pub mod vm;
+
+pub use binding::Binding;
+pub use clock::LamportClock;
+pub use home::{BarrierSite, HomeLock, Transfer};
+pub use sync_id::{BarrierId, LockId, Mode};
+pub use update::{Update, UpdateItem, UpdateSet, ITEM_HEADER_BYTES, MSG_HEADER_BYTES};

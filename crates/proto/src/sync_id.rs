@@ -1,0 +1,45 @@
+//! Synchronization object identities and acquisition modes.
+
+/// Identifies a lock. The lock's *home* processor is `id % procs`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LockId(pub u32);
+
+/// Identifies a barrier. The barrier's *manager* is `id % procs`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BarrierId(pub u32);
+
+/// Lock acquisition mode (paper §3: "locks may be acquired in exclusive
+/// (for writing) or non-exclusive mode (for reading)").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Exclusive: one holder, writes allowed.
+    Exclusive,
+    /// Non-exclusive: concurrent readers.
+    Shared,
+}
+
+impl LockId {
+    /// The lock's home processor in a `procs`-processor cluster.
+    pub fn home(self, procs: usize) -> usize {
+        self.0 as usize % procs
+    }
+}
+
+impl BarrierId {
+    /// The barrier's manager processor in a `procs`-processor cluster.
+    pub fn manager(self, procs: usize) -> usize {
+        self.0 as usize % procs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homes_are_spread_across_processors() {
+        assert_eq!(LockId(0).home(8), 0);
+        assert_eq!(LockId(9).home(8), 1);
+        assert_eq!(BarrierId(3).manager(2), 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! §3.5 RT-DSM extensions for *untargetted* consistency models.
+//!
+//! Entry consistency is *targetted*: collection scans only the data bound
+//! to the synchronization object. An untargetted model (release
+//! consistency) must make the whole shared space consistent, so collection
+//! would scan every cached line. The paper sketches two ways to trade a
+//! slightly more expensive write path for cheaper collection:
+//!
+//! * an **update queue** — "roughly triples the cost of write trapping,
+//!   \[but\] keeps the cost of write detection proportional to the amount of
+//!   dirty data, rather than the amount of shared data", with "a simple
+//!   heuristic [for sequential updates] to substantially reduce the queue
+//!   size";
+//! * **two-level dirtybits** — a first-level bit covers many second-level
+//!   bits; "one additional store instruction in the write detection path,
+//!   increasing its length by about 10%", and clean first-level bits let
+//!   collection skip whole groups.
+//!
+//! These are modelled here as standalone cost simulations over a write
+//! trace, driving the `ablation_rt_variants` harness.
+
+use midway_stats::CostModel;
+
+/// The write-detection strategy being costed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RtVariant {
+    /// Flat dirtybit array: cheap writes, full-space scans.
+    Plain,
+    /// Two-level dirtybits with `group` second-level bits per summary bit.
+    TwoLevel {
+        /// Lines covered by one first-level bit.
+        group: usize,
+    },
+    /// An update queue with the sequential-run heuristic.
+    Queue,
+}
+
+impl RtVariant {
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RtVariant::Plain => "flat dirtybits",
+            RtVariant::TwoLevel { .. } => "two-level dirtybits",
+            RtVariant::Queue => "update queue",
+        }
+    }
+}
+
+/// The costs of trapping a write trace and then collecting once.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VariantCost {
+    /// Cycles spent in the write path.
+    pub trap_cycles: u64,
+    /// Cycles spent scanning at the synchronization point.
+    pub collect_cycles: u64,
+    /// Dirty lines found (identical across variants, by construction).
+    pub dirty_lines: u64,
+    /// For the queue variant: entries actually enqueued.
+    pub queue_entries: u64,
+}
+
+impl VariantCost {
+    /// Total detection cycles.
+    pub fn total(&self) -> u64 {
+        self.trap_cycles + self.collect_cycles
+    }
+}
+
+/// Costs one trapping-plus-collection round of `variant` over a shared
+/// space of `lines` cache lines, given the trace of written line indices.
+///
+/// # Panics
+///
+/// Panics if a write index is out of range or a two-level group size is
+/// zero.
+pub fn simulate(
+    variant: RtVariant,
+    lines: usize,
+    writes: &[usize],
+    cost: &CostModel,
+) -> VariantCost {
+    let mut out = VariantCost::default();
+    let mut dirty = vec![false; lines];
+    match variant {
+        RtVariant::Plain => {
+            for &w in writes {
+                dirty[w] = true;
+                out.trap_cycles += cost.dirtybit_set_word;
+            }
+            for &d in &dirty {
+                if d {
+                    out.collect_cycles += cost.dirtybit_read_dirty;
+                    out.dirty_lines += 1;
+                } else {
+                    out.collect_cycles += cost.dirtybit_read_clean;
+                }
+            }
+        }
+        RtVariant::TwoLevel { group } => {
+            assert!(group > 0, "group size must be positive");
+            let groups = lines.div_ceil(group);
+            let mut l1 = vec![false; groups];
+            for &w in writes {
+                dirty[w] = true;
+                l1[w / group] = true;
+                out.trap_cycles += cost.dirtybit_set_two_level;
+            }
+            for (g, &summary) in l1.iter().enumerate() {
+                out.collect_cycles += cost.two_level_l1_read;
+                if !summary {
+                    continue; // the whole group is skipped
+                }
+                let lo = g * group;
+                let hi = (lo + group).min(lines);
+                for &d in &dirty[lo..hi] {
+                    if d {
+                        out.collect_cycles += cost.dirtybit_read_dirty;
+                        out.dirty_lines += 1;
+                    } else {
+                        out.collect_cycles += cost.dirtybit_read_clean;
+                    }
+                }
+            }
+        }
+        RtVariant::Queue => {
+            // Entries are runs: "many updates are sequential, allowing a
+            // simple heuristic to substantially reduce the queue size".
+            let mut queue: Vec<(usize, usize)> = Vec::new();
+            for &w in writes {
+                out.trap_cycles += cost.dirtybit_set_queue;
+                match queue.last_mut() {
+                    Some((start, len)) if w == *start + *len => *len += 1,
+                    Some((start, len)) if w >= *start && w < *start + *len => {}
+                    _ => queue.push((w, 1)),
+                }
+            }
+            out.queue_entries = queue.len() as u64;
+            // Collection drains the queue: proportional to dirty data.
+            for &(start, len) in &queue {
+                for d in dirty.iter_mut().skip(start).take(len) {
+                    *d = true;
+                    out.collect_cycles += cost.dirtybit_read_dirty;
+                }
+            }
+            out.dirty_lines = dirty.iter().filter(|d| **d).count() as u64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::r3000_mach()
+    }
+
+    #[test]
+    fn queue_trap_is_roughly_triple_plain() {
+        let writes: Vec<usize> = (0..100).collect();
+        let plain = simulate(RtVariant::Plain, 1000, &writes, &cost());
+        let queue = simulate(RtVariant::Queue, 1000, &writes, &cost());
+        assert_eq!(plain.trap_cycles, 900);
+        assert_eq!(queue.trap_cycles, 2700, "paper: roughly triples");
+    }
+
+    #[test]
+    fn two_level_trap_is_ten_percent_dearer() {
+        let writes: Vec<usize> = (0..100).collect();
+        let plain = simulate(RtVariant::Plain, 1000, &writes, &cost());
+        let two = simulate(RtVariant::TwoLevel { group: 64 }, 1000, &writes, &cost());
+        assert!(two.trap_cycles > plain.trap_cycles);
+        assert!(two.trap_cycles <= plain.trap_cycles * 112 / 100);
+    }
+
+    #[test]
+    fn sparse_writes_favour_queue_and_two_level_collection() {
+        // One dirty line in a large space: plain pays a full scan.
+        let lines = 100_000;
+        let writes = [42usize];
+        let c = cost();
+        let plain = simulate(RtVariant::Plain, lines, &writes, &c);
+        let two = simulate(RtVariant::TwoLevel { group: 64 }, lines, &writes, &c);
+        let queue = simulate(RtVariant::Queue, lines, &writes, &c);
+        assert!(plain.collect_cycles > 100_000);
+        assert!(two.collect_cycles < plain.collect_cycles / 10);
+        assert!(queue.collect_cycles < two.collect_cycles);
+        assert_eq!(plain.dirty_lines, 1);
+        assert_eq!(two.dirty_lines, 1);
+        assert_eq!(queue.dirty_lines, 1);
+    }
+
+    #[test]
+    fn sequential_heuristic_compresses_runs() {
+        let writes: Vec<usize> = (100..200).collect(); // one sequential run
+        let queue = simulate(RtVariant::Queue, 1000, &writes, &cost());
+        assert_eq!(queue.queue_entries, 1, "one run entry for the sequence");
+        assert_eq!(queue.dirty_lines, 100, "no written line is lost");
+    }
+
+    #[test]
+    fn dense_writes_favour_plain_dirtybits() {
+        // Every line written: scanning is optimal, queues pay triple traps.
+        let lines = 1_000;
+        let writes: Vec<usize> = (0..lines).rev().collect(); // non-sequential
+        let c = cost();
+        let plain = simulate(RtVariant::Plain, lines, &writes, &c);
+        let queue = simulate(RtVariant::Queue, lines, &writes, &c);
+        assert!(plain.total() < queue.total());
+    }
+
+    #[test]
+    fn variants_find_the_same_dirty_lines_for_scattered_writes() {
+        let writes = [5usize, 99, 500, 777];
+        let c = cost();
+        for v in [
+            RtVariant::Plain,
+            RtVariant::TwoLevel { group: 32 },
+            RtVariant::Queue,
+        ] {
+            assert_eq!(simulate(v, 1000, &writes, &c).dirty_lines, 4, "{v:?}");
+        }
+    }
+}

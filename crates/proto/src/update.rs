@@ -1,0 +1,167 @@
+//! Consistency updates and their wire-size accounting.
+
+/// Fixed per-message protocol header, in bytes.
+pub const MSG_HEADER_BYTES: u64 = 32;
+
+/// Per-item wire overhead: address (8) + length (4) + timestamp (8).
+pub const ITEM_HEADER_BYTES: u64 = 20;
+
+/// One updated piece of shared memory: a cache line (RT) or a diff run
+/// (VM), addressed globally.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateItem {
+    /// Global address of the first byte.
+    pub addr: u64,
+    /// The new bytes.
+    pub data: Vec<u8>,
+    /// RT-DSM: the Lamport timestamp of the modification. VM-DSM: unused
+    /// (zero) — ordering comes from the enclosing incarnation.
+    pub ts: u64,
+}
+
+/// A set of updates shipped in one direction at one synchronization point.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct UpdateSet {
+    /// The items, in increasing address order.
+    pub items: Vec<UpdateItem>,
+}
+
+impl UpdateSet {
+    /// An empty set.
+    pub fn new() -> UpdateSet {
+        UpdateSet::default()
+    }
+
+    /// True when nothing is carried.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Application data bytes (what the paper's "data transferred" counts).
+    pub fn data_bytes(&self) -> u64 {
+        self.items.iter().map(|i| i.data.len() as u64).sum()
+    }
+
+    /// Total bytes on the wire, including per-item headers.
+    pub fn wire_size(&self) -> u64 {
+        self.data_bytes() + ITEM_HEADER_BYTES * self.items.len() as u64
+    }
+
+    /// Merges `other` into `self`, keeping the newer item when both carry
+    /// the same address (ties broken toward `other`).
+    ///
+    /// Used by the barrier manager to combine per-processor contributions.
+    pub fn merge_newer(&mut self, other: UpdateSet) {
+        for item in other.items {
+            match self.items.iter_mut().find(|i| i.addr == item.addr) {
+                Some(existing) => {
+                    if item.ts >= existing.ts {
+                        *existing = item;
+                    }
+                }
+                None => self.items.push(item),
+            }
+        }
+        self.items.sort_by_key(|i| i.addr);
+    }
+
+    /// The subset of items whose address is not in `exclude` (used when a
+    /// barrier release avoids echoing a processor's own contribution).
+    pub fn excluding_addrs_of(&self, exclude: &UpdateSet) -> UpdateSet {
+        let addrs: std::collections::HashSet<u64> = exclude.items.iter().map(|i| i.addr).collect();
+        UpdateSet {
+            items: self
+                .items
+                .iter()
+                .filter(|i| !addrs.contains(&i.addr))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+/// A VM-DSM update: the modifications made during one incarnation of a
+/// lock (paper §3.4).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Update {
+    /// The incarnation this update encapsulates.
+    pub incarnation: u64,
+    /// The modified data.
+    pub set: UpdateSet,
+    /// True when `set` is a full snapshot of the bound data: it subsumes
+    /// every earlier incarnation, so it can serve arbitrarily old
+    /// requesters.
+    pub full: bool,
+}
+
+impl Update {
+    /// Wire size of this update.
+    pub fn wire_size(&self) -> u64 {
+        8 + self.set.wire_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(addr: u64, bytes: usize, ts: u64) -> UpdateItem {
+        UpdateItem {
+            addr,
+            data: vec![ts as u8; bytes],
+            ts,
+        }
+    }
+
+    #[test]
+    fn sizes_count_data_and_headers() {
+        let set = UpdateSet {
+            items: vec![item(0, 8, 1), item(16, 4, 2)],
+        };
+        assert_eq!(set.data_bytes(), 12);
+        assert_eq!(set.wire_size(), 12 + 2 * ITEM_HEADER_BYTES);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn merge_keeps_newer_timestamps() {
+        let mut a = UpdateSet {
+            items: vec![item(0, 8, 5), item(8, 8, 9)],
+        };
+        let b = UpdateSet {
+            items: vec![item(0, 8, 7), item(8, 8, 3), item(16, 8, 1)],
+        };
+        a.merge_newer(b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.items[0].ts, 7, "newer replaces older");
+        assert_eq!(a.items[1].ts, 9, "older does not replace newer");
+        assert_eq!(a.items[2].addr, 16);
+    }
+
+    #[test]
+    fn excluding_addrs_filters_out_own_contribution() {
+        let merged = UpdateSet {
+            items: vec![item(0, 8, 1), item(8, 8, 2), item(16, 8, 3)],
+        };
+        let mine = UpdateSet {
+            items: vec![item(8, 8, 2)],
+        };
+        let rest = merged.excluding_addrs_of(&mine);
+        assert_eq!(
+            rest.items.iter().map(|i| i.addr).collect::<Vec<_>>(),
+            vec![0, 16]
+        );
+    }
+
+    #[test]
+    fn empty_set_is_cheap() {
+        let set = UpdateSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.wire_size(), 0);
+    }
+}

@@ -1,0 +1,371 @@
+//! VM-DSM write collection (paper §3.4).
+//!
+//! A write-faulted page has a *twin*; collection diffs dirty pages bound to
+//! the requested object against their twins, restricted to the bound
+//! ranges. Updates are kept per *incarnation* of the lock; a requester
+//! whose last-seen incarnation is too old — or whose binding is stale, or
+//! for whom the concatenated updates would exceed the bound data size —
+//! receives the full bound data instead.
+
+use midway_mem::diff::PageDiff;
+use midway_mem::{Addr, Layout, LocalStore, PageTable, PAGE_SHIFT};
+
+use crate::binding::Binding;
+use crate::update::{Update, UpdateItem, UpdateSet};
+
+/// Result of a VM collection pass over one binding.
+#[derive(Debug)]
+pub struct VmCollect {
+    /// The update for the current incarnation (restricted to the binding).
+    pub update: UpdateSet,
+    /// Pages diffed (Table 2: "pages diffed").
+    pub pages_diffed: u64,
+    /// Run count of each full-page diff, for the cost model's
+    /// fragmentation-sensitive charging.
+    pub diff_runs: Vec<(usize, usize)>,
+    /// Pages cleaned — twin freed and page write-protected (Table 2:
+    /// "pages write protected").
+    pub pages_cleaned: u64,
+}
+
+/// Result of applying a VM update set at the requester.
+#[derive(Debug, Default)]
+pub struct VmApply {
+    /// Bytes written into the local cache.
+    pub bytes_applied: u64,
+    /// Bytes also patched into twins of locally dirty pages (Table 2:
+    /// "data updated in twins").
+    pub twin_bytes_updated: u64,
+}
+
+/// Diffs the dirty pages covered by `binding` and builds the update for
+/// the current incarnation.
+///
+/// A page whose modifications all fall inside the binding is *cleaned*
+/// afterwards (twin freed, write-protected): its data now lives in the
+/// lock's update history, so the twin is no longer needed.
+pub fn collect(
+    store: &mut LocalStore,
+    pages: &mut PageTable,
+    layout: &Layout,
+    binding: &Binding,
+) -> VmCollect {
+    let mut out = VmCollect {
+        update: UpdateSet::new(),
+        pages_diffed: 0,
+        diff_runs: Vec::new(),
+        pages_cleaned: 0,
+    };
+    for (region_id, page_range) in binding.page_spans(layout) {
+        let desc = layout.region(region_id).expect("bound region exists");
+        let used = desc.used;
+        for page in pages.dirty_pages_in(region_id, page_range) {
+            let offset = page << PAGE_SHIFT;
+            let len = (1usize << PAGE_SHIFT).min(used - offset);
+            let page_base = desc.base() + offset as u64;
+            let current = store.bytes(page_base, len).to_vec();
+            let twin = pages.twin(region_id, page).expect("dirty page has twin");
+            let diff = PageDiff::compute(&current, twin);
+            out.pages_diffed += 1;
+            out.diff_runs.push((diff.run_count(), len / 4));
+            let bound = binding.ranges_in_page(region_id, page);
+            let restricted = diff.restrict(&bound);
+            for run in &restricted.runs {
+                out.update.items.push(UpdateItem {
+                    addr: page_base.raw() + run.offset as u64,
+                    data: run.data.clone(),
+                    ts: 0,
+                });
+            }
+            if diff.covered_by(&bound) {
+                pages.clean(region_id, page);
+                out.pages_cleaned += 1;
+            } else {
+                // Some modified words belong to other synchronization
+                // objects; fold the shipped part into the twin so it is not
+                // shipped again, and leave the page dirty.
+                if let Some(twin) = pages.twin_mut(region_id, page) {
+                    let end = len.min(twin.len());
+                    restricted.apply(&mut twin[..end]);
+                }
+            }
+        }
+    }
+    out.update.items.sort_by_key(|i| i.addr);
+    out
+}
+
+/// Reads the full bound data: the fallback when the incarnation history
+/// cannot serve a requester, and the §3.5 "blast" strawman's payload.
+pub fn snapshot(store: &mut LocalStore, binding: &Binding) -> UpdateSet {
+    let mut set = UpdateSet::new();
+    for range in binding.ranges() {
+        for piece in midway_mem::split_by_region(range.clone()) {
+            let len = (piece.end - piece.start) as usize;
+            let data = store.bytes(Addr(piece.start), len).to_vec();
+            set.items.push(UpdateItem {
+                addr: piece.start,
+                data,
+                ts: 0,
+            });
+        }
+    }
+    set
+}
+
+/// Applies an incoming update set; modifications landing on a locally
+/// dirty page are also applied to its twin, "so the update will not be
+/// treated as a new modification by the local processor".
+pub fn apply(store: &mut LocalStore, pages: &mut PageTable, set: &UpdateSet) -> VmApply {
+    let mut out = VmApply::default();
+    for item in &set.items {
+        store.write_bytes(Addr(item.addr), &item.data);
+        out.bytes_applied += item.data.len() as u64;
+        // Patch the twin page by page (items may span page boundaries).
+        let mut pos = 0usize;
+        while pos < item.data.len() {
+            let addr = Addr(item.addr + pos as u64);
+            let region = addr.region_index();
+            let page = addr.page_in_region();
+            let in_page = (1usize << PAGE_SHIFT) - addr.page_offset();
+            let chunk = in_page.min(item.data.len() - pos);
+            if let Some(twin) = pages.twin_mut(region, page) {
+                let start = addr.page_offset();
+                let end = (start + chunk).min(twin.len());
+                if start < end {
+                    twin[start..end].copy_from_slice(&item.data[pos..pos + (end - start)]);
+                    out.twin_bytes_updated += (end - start) as u64;
+                }
+            }
+            pos += chunk;
+        }
+    }
+    out
+}
+
+/// The per-lock incarnation history one processor knows (paper §3.4).
+///
+/// "The releasing processor has available the complete set of prior
+/// updates, because it saves the updates it receives when acquiring each
+/// lock" — but, like Midway, we do not save them all: the history is a
+/// bounded contiguous suffix, and requesters who need more receive the
+/// full bound data.
+#[derive(Clone, Debug)]
+pub struct LockHistory {
+    updates: std::collections::VecDeque<Update>,
+    cap: usize,
+}
+
+impl LockHistory {
+    /// An empty history retaining at most `cap` incarnations.
+    pub fn new(cap: usize) -> LockHistory {
+        LockHistory {
+            updates: std::collections::VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Records the update of a new incarnation (must be increasing).
+    pub fn push(&mut self, update: Update) {
+        if let Some(last) = self.updates.back() {
+            assert!(
+                update.incarnation > last.incarnation,
+                "incarnations must increase"
+            );
+        }
+        self.updates.push_back(update);
+        while self.updates.len() > self.cap {
+            self.updates.pop_front();
+        }
+    }
+
+    /// Absorbs updates received with a grant (they extend this processor's
+    /// known history).
+    pub fn absorb(&mut self, received: &[Update]) {
+        for u in received {
+            let newer = self
+                .updates
+                .back()
+                .is_none_or(|last| u.incarnation > last.incarnation);
+            if newer {
+                self.push(u.clone());
+            }
+        }
+    }
+
+    /// The updates a requester at `last_seen` needs: the contiguous chain
+    /// `last_seen+1 ..= current` if retained, or — when the oldest retained
+    /// entry is a full snapshot — everything from that snapshot onward (a
+    /// snapshot subsumes all earlier incarnations).
+    pub fn since(&self, last_seen: u64) -> Option<Vec<Update>> {
+        let newest = self.updates.back()?.incarnation;
+        if last_seen >= newest {
+            return Some(Vec::new());
+        }
+        let needed: Vec<Update> = self
+            .updates
+            .iter()
+            .filter(|u| u.incarnation > last_seen)
+            .cloned()
+            .collect();
+        let expect = (newest - last_seen) as usize;
+        if needed.len() == expect {
+            return Some(needed);
+        }
+        if self.updates.front().is_some_and(|u| u.full) {
+            return Some(self.updates.iter().cloned().collect());
+        }
+        None
+    }
+
+    /// The newest incarnation recorded, if any.
+    pub fn newest(&self) -> Option<u64> {
+        self.updates.back().map(|u| u.incarnation)
+    }
+
+    /// Clears the history (used on rebinding: old updates describe ranges
+    /// that may no longer be bound).
+    pub fn clear(&mut self) {
+        self.updates.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midway_mem::{LayoutBuilder, MemClass, PAGE_SIZE};
+    use std::sync::Arc;
+
+    struct Fixture {
+        layout: Arc<Layout>,
+        store: LocalStore,
+        pages: PageTable,
+        base: Addr,
+        region: usize,
+    }
+
+    fn fixture(bytes: usize) -> Fixture {
+        let mut b = LayoutBuilder::new();
+        let a = b.alloc("x", bytes, MemClass::Shared, 12);
+        let layout = b.build();
+        Fixture {
+            store: LocalStore::new(Arc::clone(&layout)),
+            pages: PageTable::new(Arc::clone(&layout)),
+            layout,
+            base: a.addr,
+            region: a.addr.region_index(),
+        }
+    }
+
+    /// Simulates the app write path: fault if needed, then store.
+    fn write_u64(f: &mut Fixture, addr: Addr, v: u64) {
+        let page = addr.page_in_region();
+        if !f.pages.is_writable(f.region, page) {
+            let offset = page << PAGE_SHIFT;
+            let len = PAGE_SIZE.min(f.layout.region(f.region).unwrap().used - offset);
+            let snapshot = f
+                .store
+                .bytes(f.base.region_base() + offset as u64, len)
+                .to_vec();
+            f.pages.fault_in(f.region, page, &snapshot);
+        }
+        f.store.write_u64(addr, v);
+    }
+
+    #[test]
+    fn collect_ships_diff_and_cleans_covered_pages() {
+        let mut f = fixture(2 * PAGE_SIZE);
+        let a = f.base + 8;
+        write_u64(&mut f, a, u64::MAX - 42);
+        let binding = Binding::new(vec![f.base.raw()..f.base.raw() + 2 * PAGE_SIZE as u64]);
+        let c = collect(&mut f.store, &mut f.pages, &f.layout, &binding);
+        assert_eq!(c.pages_diffed, 1);
+        assert_eq!(c.pages_cleaned, 1);
+        assert_eq!(c.update.len(), 1);
+        assert_eq!(c.update.items[0].addr, f.base.raw() + 8);
+        assert!(!f.pages.is_dirty(f.region, 0));
+    }
+
+    #[test]
+    fn partially_bound_dirty_page_stays_dirty() {
+        let mut f = fixture(PAGE_SIZE);
+        let a = f.base + 8;
+        write_u64(&mut f, a, u64::MAX - 1); // inside the binding
+        let a = f.base + 512;
+        write_u64(&mut f, a, u64::MAX - 2); // outside the binding
+        let binding = Binding::new(vec![f.base.raw()..f.base.raw() + 256]);
+        let c = collect(&mut f.store, &mut f.pages, &f.layout, &binding);
+        assert_eq!(c.pages_cleaned, 0);
+        assert!(f.pages.is_dirty(f.region, 0));
+        assert_eq!(c.update.data_bytes(), 8);
+        // The shipped part was folded into the twin: collecting again for
+        // the same binding ships nothing new.
+        let again = collect(&mut f.store, &mut f.pages, &f.layout, &binding);
+        assert!(again.update.is_empty());
+    }
+
+    #[test]
+    fn apply_patches_twins_of_dirty_pages() {
+        let mut f = fixture(PAGE_SIZE);
+        let a = f.base + 512;
+        write_u64(&mut f, a, u64::MAX - 7); // page is now dirty with a twin
+        let set = UpdateSet {
+            items: vec![UpdateItem {
+                addr: f.base.raw(),
+                data: vec![9; 8],
+                ts: 0,
+            }],
+        };
+        let a = apply(&mut f.store, &mut f.pages, &set);
+        assert_eq!(a.bytes_applied, 8);
+        assert_eq!(a.twin_bytes_updated, 8);
+        // The incoming update is not mistaken for a local modification.
+        let binding = Binding::new(vec![f.base.raw()..f.base.raw() + PAGE_SIZE as u64]);
+        let c = collect(&mut f.store, &mut f.pages, &f.layout, &binding);
+        assert_eq!(c.update.data_bytes(), 8, "only the local write ships");
+        assert_eq!(c.update.items[0].addr, f.base.raw() + 512);
+    }
+
+    #[test]
+    fn snapshot_reads_all_bound_data() {
+        let mut f = fixture(PAGE_SIZE);
+        f.store.write_u64(f.base + 16, 3);
+        let binding = Binding::new(vec![f.base.raw()..f.base.raw() + 64]);
+        let s = snapshot(&mut f.store, &binding);
+        assert_eq!(s.data_bytes(), 64);
+        assert_eq!(s.items.len(), 1);
+    }
+
+    #[test]
+    fn history_serves_contiguous_suffixes_only() {
+        let upd = |inc: u64| Update {
+            incarnation: inc,
+            set: UpdateSet::new(),
+            full: false,
+        };
+        let mut h = LockHistory::new(4);
+        for inc in 1..=6 {
+            h.push(upd(inc));
+        }
+        // Cap 4 keeps incarnations 3..=6.
+        assert_eq!(h.newest(), Some(6));
+        assert_eq!(h.since(4).unwrap().len(), 2);
+        assert_eq!(h.since(6).unwrap().len(), 0);
+        assert_eq!(h.since(9).unwrap().len(), 0);
+        assert!(h.since(1).is_none(), "incarnation 2 was pruned");
+    }
+
+    #[test]
+    fn history_absorbs_received_updates() {
+        let upd = |inc: u64| Update {
+            incarnation: inc,
+            set: UpdateSet::new(),
+            full: false,
+        };
+        let mut h = LockHistory::new(8);
+        h.push(upd(3));
+        h.absorb(&[upd(2), upd(4), upd(5)]);
+        assert_eq!(h.newest(), Some(5));
+        assert_eq!(h.since(2).unwrap().len(), 3);
+    }
+}

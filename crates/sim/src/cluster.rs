@@ -1,0 +1,532 @@
+//! Public cluster API: configuration, processor handles, run outcomes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::{Category, CpuClock, CATEGORY_COUNT};
+use crate::event::Event;
+use crate::net::NetModel;
+use crate::sched::{Poison, Scheduler};
+use crate::time::VirtualTime;
+
+/// Configuration for a simulated cluster run.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Number of simulated processors.
+    pub procs: usize,
+    /// Interconnect cost model.
+    pub net: NetModel,
+}
+
+impl ClusterConfig {
+    /// A cluster of `procs` processors with the default ATM network model.
+    pub fn new(procs: usize) -> ClusterConfig {
+        ClusterConfig {
+            procs,
+            net: NetModel::default(),
+        }
+    }
+
+    /// Replaces the network model.
+    pub fn net(mut self, net: NetModel) -> ClusterConfig {
+        self.net = net;
+        self
+    }
+}
+
+/// Why a simulation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// Every processor is blocked in `recv` and no message is in flight.
+    Deadlock {
+        /// Processors stuck in `recv`.
+        blocked: Vec<usize>,
+    },
+    /// A message was sent to a processor that had already finished.
+    MessageToFinished {
+        /// Sender.
+        src: usize,
+        /// Finished destination.
+        dst: usize,
+    },
+    /// An application closure panicked on some processor.
+    ProcPanicked {
+        /// The processor whose closure panicked.
+        proc: usize,
+        /// The panic payload, rendered as a string where possible.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => {
+                write!(
+                    f,
+                    "simulation deadlock; processors blocked in recv: {blocked:?}"
+                )
+            }
+            SimError::MessageToFinished { src, dst } => {
+                write!(
+                    f,
+                    "processor {src} sent a message to finished processor {dst}"
+                )
+            }
+            SimError::ProcPanicked { proc, message } => {
+                write!(f, "processor {proc} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<Poison> for SimError {
+    fn from(p: Poison) -> SimError {
+        match p {
+            Poison::Deadlock { blocked } => SimError::Deadlock { blocked },
+            Poison::MessageToFinished { src, dst } => SimError::MessageToFinished { src, dst },
+            Poison::Panic { proc, message } => SimError::ProcPanicked { proc, message },
+        }
+    }
+}
+
+/// Internal panic payload used to unwind out of a poisoned simulation.
+struct SimAbort(Poison);
+
+/// Per-processor accounting published at the end of a run.
+#[derive(Clone, Debug)]
+pub struct ProcReport {
+    /// The processor's final virtual time.
+    pub final_time: VirtualTime,
+    /// Cycle totals per [`Category`], indexed by `Category as usize`.
+    pub breakdown: [u64; CATEGORY_COUNT],
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Payload bytes sent (as declared by the callers of `send`).
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub msgs_received: u64,
+}
+
+/// The result of a successful cluster run.
+#[derive(Debug)]
+pub struct RunOutcome<R> {
+    /// Per-processor closure return values, indexed by processor id.
+    pub results: Vec<R>,
+    /// Per-processor accounting, indexed by processor id.
+    pub reports: Vec<ProcReport>,
+    /// The cluster finish time: the maximum of the final clocks.
+    pub finish_time: VirtualTime,
+    /// Total messages delivered by the scheduler.
+    pub messages_delivered: u64,
+}
+
+/// A simulated processor, handed to the per-processor closure.
+///
+/// All methods take `&mut self`; each handle is owned by exactly one thread.
+pub struct ProcHandle<M> {
+    id: usize,
+    procs: usize,
+    net: NetModel,
+    sched: Arc<Scheduler<M>>,
+    clock: CpuClock,
+    seq: u64,
+    msgs_sent: u64,
+    bytes_sent: u64,
+    msgs_received: u64,
+}
+
+impl<M: Send> ProcHandle<M> {
+    /// This processor's id, in `0..procs()`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The number of processors in the cluster.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// The interconnect model in effect.
+    pub fn net(&self) -> NetModel {
+        self.net
+    }
+
+    /// Current virtual time on this processor.
+    pub fn now(&self) -> VirtualTime {
+        self.clock.now()
+    }
+
+    /// Read access to the clock (for breakdown queries).
+    pub fn clock(&self) -> &CpuClock {
+        &self.clock
+    }
+
+    /// Advances the clock by `cycles`, charged to `cat`.
+    pub fn charge(&mut self, cat: Category, cycles: u64) {
+        self.clock.charge(cat, cycles);
+    }
+
+    /// Charges application compute time.
+    pub fn work(&mut self, cycles: u64) {
+        self.clock.charge(Category::Compute, cycles);
+    }
+
+    /// Sends `msg` (declared wire size `bytes`) to processor `dst`.
+    ///
+    /// Charges this processor the sender-side software overhead; the message
+    /// is delivered at `now + latency + bytes/bandwidth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is this processor (protocols must short-circuit local
+    /// operations) or out of range.
+    pub fn send(&mut self, dst: usize, msg: M, bytes: u64) {
+        assert!(dst < self.procs, "destination {dst} out of range");
+        assert_ne!(
+            dst, self.id,
+            "self-send: local operations must not use the network"
+        );
+        self.clock
+            .charge(Category::Protocol, self.net.send_overhead_cycles);
+        let deliver_at = self.clock.now() + self.net.wire_cycles(bytes);
+        let seq = self.seq;
+        self.seq += 1;
+        self.msgs_sent += 1;
+        self.bytes_sent += bytes;
+        self.sched.post(Event {
+            deliver_at,
+            src: self.id,
+            seq,
+            dst,
+            msg,
+        });
+    }
+
+    /// Schedules `msg` for delivery back to this processor after `delay`
+    /// cycles of virtual time, with no network charges.
+    ///
+    /// This is the deterministic timer primitive: a processor that wants to
+    /// back off (poll a condition later) posts a tick to itself and blocks
+    /// in `recv`, which lets the scheduler deliver other processors'
+    /// messages in the meantime. Spinning without blocking would starve
+    /// the conservative scheduler, which only delivers when every thread
+    /// is blocked.
+    pub fn post_self(&mut self, msg: M, delay: u64) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.sched.post(Event {
+            deliver_at: self.clock.now() + delay,
+            src: self.id,
+            seq,
+            dst: self.id,
+            msg,
+        });
+    }
+
+    /// Receives the next message addressed to this processor, advancing the
+    /// clock to its delivery time. Returns `(delivery time, src, msg)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (aborting the whole simulation) on deadlock: every processor
+    /// blocked in `recv` with nothing in flight indicates a protocol bug.
+    pub fn recv(&mut self) -> (VirtualTime, usize, M) {
+        self.recv_inner(false)
+            .expect("recv cannot observe quiescence")
+    }
+
+    /// Like [`recv`](Self::recv), but also returns `None` when the whole
+    /// cluster has quiesced (all processors draining, nothing in flight).
+    ///
+    /// Used by the DSM runtime's end-of-run service loop: a processor that
+    /// has finished its application work keeps serving protocol messages
+    /// until the cluster agrees nothing more can arrive.
+    pub fn drain_recv(&mut self) -> Option<(VirtualTime, usize, M)> {
+        self.recv_inner(true)
+    }
+
+    fn recv_inner(&mut self, draining: bool) -> Option<(VirtualTime, usize, M)> {
+        match self.sched.block_recv(self.id, draining) {
+            Ok(Some((at, src, msg))) => {
+                self.clock.advance_to(at);
+                if src != self.id {
+                    // Self-posted timers carry no protocol cost.
+                    self.clock
+                        .charge(Category::Protocol, self.net.recv_overhead_cycles);
+                    self.msgs_received += 1;
+                }
+                Some((at, src, msg))
+            }
+            Ok(None) => None,
+            Err(poison) => std::panic::panic_any(SimAbort(poison)),
+        }
+    }
+
+    fn report(&self) -> ProcReport {
+        ProcReport {
+            final_time: self.clock.now(),
+            breakdown: self.clock.breakdown(),
+            msgs_sent: self.msgs_sent,
+            bytes_sent: self.bytes_sent,
+            msgs_received: self.msgs_received,
+        }
+    }
+}
+
+/// Entry point: runs one closure per simulated processor to completion.
+pub struct Cluster;
+
+impl Cluster {
+    /// Runs `f` on every processor of a simulated cluster and collects the
+    /// results.
+    ///
+    /// `f` is invoked once per processor with that processor's handle. The
+    /// call returns when every closure has returned (and, for processors
+    /// that use [`ProcHandle::drain_recv`], the cluster has quiesced).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the simulation deadlocks, a message is sent
+    /// to a finished processor, or any closure panics.
+    pub fn run<M, R, F>(cfg: ClusterConfig, f: F) -> Result<RunOutcome<R>, SimError>
+    where
+        M: Send + 'static,
+        R: Send,
+        F: Fn(&mut ProcHandle<M>) -> R + Send + Sync,
+    {
+        assert!(cfg.procs > 0, "cluster needs at least one processor");
+        let sched: Arc<Scheduler<M>> = Arc::new(Scheduler::new(cfg.procs));
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..cfg.procs).map(|_| None).collect());
+        let reports: Mutex<Vec<Option<ProcReport>>> =
+            Mutex::new((0..cfg.procs).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            for id in 0..cfg.procs {
+                let sched = Arc::clone(&sched);
+                let f = &f;
+                let results = &results;
+                let reports = &reports;
+                scope.spawn(move || {
+                    let mut handle = ProcHandle {
+                        id,
+                        procs: cfg.procs,
+                        net: cfg.net,
+                        sched: Arc::clone(&sched),
+                        clock: CpuClock::new(),
+                        seq: 0,
+                        msgs_sent: 0,
+                        bytes_sent: 0,
+                        msgs_received: 0,
+                    };
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut handle)));
+                    match outcome {
+                        Ok(val) => {
+                            reports.lock()[id] = Some(handle.report());
+                            results.lock()[id] = Some(val);
+                            sched.finish(id);
+                        }
+                        Err(payload) => {
+                            if let Some(abort) = payload.downcast_ref::<SimAbort>() {
+                                // The cluster is already poisoned; just make
+                                // sure everyone is awake.
+                                sched.set_poison(abort.0.clone());
+                            } else {
+                                let message = panic_message(&*payload);
+                                sched.abandon(id, message);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(poison) = sched.inner.lock().poison.clone() {
+            return Err(poison.into());
+        }
+        let results: Vec<R> = results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every processor finished"))
+            .collect();
+        let reports: Vec<ProcReport> = reports
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every processor reported"))
+            .collect();
+        let finish_time = reports
+            .iter()
+            .map(|r| r.final_time)
+            .max()
+            .unwrap_or(VirtualTime::ZERO);
+        Ok(RunOutcome {
+            results,
+            reports,
+            finish_time,
+            messages_delivered: sched.delivered(),
+        })
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Msg = u64;
+
+    #[test]
+    fn single_proc_runs_locally() {
+        let out = Cluster::run(ClusterConfig::new(1), |p: &mut ProcHandle<Msg>| {
+            p.work(1000);
+            p.now().cycles()
+        })
+        .unwrap();
+        assert_eq!(out.results, vec![1000]);
+        assert_eq!(out.messages_delivered, 0);
+        assert_eq!(out.finish_time.cycles(), 1000);
+    }
+
+    #[test]
+    fn message_delivery_advances_receiver_clock() {
+        let cfg = ClusterConfig::new(2).net(NetModel {
+            latency_cycles: 100,
+            per_byte_millicycles: 1000,
+            send_overhead_cycles: 10,
+            recv_overhead_cycles: 20,
+        });
+        let out = Cluster::run(cfg, |p: &mut ProcHandle<Msg>| {
+            if p.id() == 0 {
+                p.work(50);
+                p.send(1, 7, 8);
+                0
+            } else {
+                let (at, src, msg) = p.recv();
+                assert_eq!(src, 0);
+                assert_eq!(msg, 7);
+                // Sent at 50 + 10 overhead = 60; +100 latency +8 bytes = 168.
+                assert_eq!(at.cycles(), 168);
+                p.now().cycles()
+            }
+        })
+        .unwrap();
+        // Receiver: 168 delivery + 20 recv overhead.
+        assert_eq!(out.results[1], 188);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let err = Cluster::run(ClusterConfig::new(2), |p: &mut ProcHandle<Msg>| {
+            // Both wait forever.
+            p.recv();
+        })
+        .unwrap_err();
+        match err {
+            SimError::Deadlock { blocked } => assert_eq!(blocked, vec![0, 1]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_recv_quiesces_when_everyone_drains() {
+        let out = Cluster::run(ClusterConfig::new(3), |p: &mut ProcHandle<Msg>| {
+            if p.id() == 0 {
+                p.send(1, 1, 4);
+                p.send(2, 2, 4);
+            }
+            let mut seen = 0;
+            while let Some((_, _, m)) = p.drain_recv() {
+                seen += m;
+            }
+            seen
+        })
+        .unwrap();
+        assert_eq!(out.results, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn app_panic_is_reported() {
+        let err = Cluster::run(ClusterConfig::new(2), |p: &mut ProcHandle<Msg>| {
+            if p.id() == 1 {
+                panic!("boom");
+            }
+            p.recv();
+        })
+        .unwrap_err();
+        match err {
+            SimError::ProcPanicked { proc, message } => {
+                assert_eq!(proc, 1);
+                assert!(message.contains("boom"));
+            }
+            other => panic!("expected panic report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delivery_order_is_deterministic_across_runs() {
+        // Three senders fire at identical virtual times; the receiver's
+        // observed order must be identical run after run.
+        let run = || {
+            let out = Cluster::run(
+                ClusterConfig::new(4).net(NetModel::ideal()),
+                |p: &mut ProcHandle<Msg>| {
+                    if p.id() == 0 {
+                        let mut order = Vec::new();
+                        for _ in 0..3 {
+                            let (_, src, _) = p.recv();
+                            order.push(src);
+                        }
+                        order
+                    } else {
+                        p.send(0, p.id() as u64, 4);
+                        Vec::new()
+                    }
+                },
+            )
+            .unwrap();
+            out.results[0].clone()
+        };
+        let first = run();
+        for _ in 0..10 {
+            assert_eq!(run(), first);
+        }
+        // Ties broken by source id.
+        assert_eq!(first, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn finish_time_is_max_over_procs() {
+        let out = Cluster::run(ClusterConfig::new(3), |p: &mut ProcHandle<Msg>| {
+            p.work(100 * (p.id() as u64 + 1));
+        })
+        .unwrap();
+        assert_eq!(out.finish_time.cycles(), 300);
+    }
+
+    #[test]
+    fn self_send_is_rejected() {
+        let err = Cluster::run(ClusterConfig::new(1), |p: &mut ProcHandle<Msg>| {
+            p.send(0, 1, 4);
+        })
+        .unwrap_err();
+        match err {
+            SimError::ProcPanicked { proc: 0, message } => {
+                assert!(message.contains("self-send"), "message: {message}");
+            }
+            other => panic!("expected panic report, got {other:?}"),
+        }
+    }
+}

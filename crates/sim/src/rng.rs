@@ -1,0 +1,108 @@
+//! A tiny deterministic PRNG for workload generation.
+
+/// SplitMix64: a fast, high-quality 64-bit PRNG with a trivial state.
+///
+/// The workload generators use this instead of the `rand` crate so that
+/// generated inputs (and therefore every simulation counter) are stable
+/// across `rand` releases and platforms.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift reduction; the slight modulo bias is irrelevant for
+        // workload generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    pub fn next_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Fisher–Yates shuffles a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bounded_values_stay_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.next_below(13) < 13);
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(9);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    fn range_f64_respects_bounds() {
+        let mut r = SplitMix64::new(11);
+        for _ in 0..1000 {
+            let v = r.next_range_f64(-2.5, 4.0);
+            assert!((-2.5..4.0).contains(&v));
+        }
+    }
+}

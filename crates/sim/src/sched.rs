@@ -1,0 +1,232 @@
+//! The conservative virtual-time scheduler.
+//!
+//! Invariant: a pending event is delivered only when no processor thread is
+//! `Running`, and the event chosen is the global minimum under
+//! `(delivery time, src, seq)`. Because a woken processor first advances its
+//! clock to the delivery time, every event it subsequently posts is later
+//! than anything already delivered, so deliveries are nondecreasing in
+//! virtual time and the execution is deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::event::Event;
+use crate::time::VirtualTime;
+
+/// Lifecycle state of a simulated processor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ProcState {
+    /// The processor's thread is executing (compute or sends).
+    Running,
+    /// Blocked in `recv`: it must receive a message to make progress.
+    Blocked,
+    /// Blocked in `drain_recv`: it accepts messages but may also be released
+    /// when the whole cluster quiesces.
+    Draining,
+    /// The processor's thread has finished.
+    Done,
+}
+
+/// What the scheduler left in a processor's single-slot mailbox.
+pub(crate) enum Slot<M> {
+    Empty,
+    Msg {
+        at: VirtualTime,
+        src: usize,
+        msg: M,
+    },
+    /// The cluster has quiesced; a draining processor may finish.
+    Quiesce,
+}
+
+/// Why the simulation was aborted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Poison {
+    /// No processor can make progress: `blocked` lists those stuck in `recv`.
+    Deadlock { blocked: Vec<usize> },
+    /// A message was addressed to a processor that had already finished.
+    MessageToFinished { src: usize, dst: usize },
+    /// An application closure panicked.
+    Panic { proc: usize, message: String },
+}
+
+pub(crate) struct SchedInner<M> {
+    pub procs: Vec<ProcState>,
+    pub running: usize,
+    pub queue: BinaryHeap<Reverse<Event<M>>>,
+    pub slots: Vec<Slot<M>>,
+    pub poison: Option<Poison>,
+    pub delivered: u64,
+}
+
+pub(crate) struct Scheduler<M> {
+    pub inner: Mutex<SchedInner<M>>,
+    pub cv: Condvar,
+}
+
+impl<M> Scheduler<M> {
+    pub fn new(procs: usize) -> Scheduler<M> {
+        Scheduler {
+            inner: Mutex::new(SchedInner {
+                procs: vec![ProcState::Running; procs],
+                running: procs,
+                queue: BinaryHeap::new(),
+                slots: (0..procs).map(|_| Slot::Empty).collect(),
+                poison: None,
+                delivered: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Queues an in-flight message. Called only by a `Running` thread, so no
+    /// dispatch can be due yet.
+    pub fn post(&self, ev: Event<M>) {
+        let mut inner = self.inner.lock();
+        inner.queue.push(Reverse(ev));
+    }
+
+    /// Blocks processor `me` until a message arrives (or, when `draining`,
+    /// until the cluster quiesces). Returns `Ok(None)` only on quiescence.
+    pub fn block_recv(
+        &self,
+        me: usize,
+        draining: bool,
+    ) -> Result<Option<(VirtualTime, usize, M)>, Poison> {
+        let mut inner = self.inner.lock();
+        debug_assert_eq!(inner.procs[me], ProcState::Running);
+        inner.running -= 1;
+        inner.procs[me] = if draining {
+            ProcState::Draining
+        } else {
+            ProcState::Blocked
+        };
+        if inner.running == 0 {
+            self.dispatch(&mut inner);
+        }
+        loop {
+            if let Some(p) = &inner.poison {
+                return Err(p.clone());
+            }
+            match std::mem::replace(&mut inner.slots[me], Slot::Empty) {
+                Slot::Msg { at, src, msg } => {
+                    debug_assert_eq!(inner.procs[me], ProcState::Running);
+                    return Ok(Some((at, src, msg)));
+                }
+                Slot::Quiesce => {
+                    debug_assert!(draining);
+                    return Ok(None);
+                }
+                Slot::Empty => self.cv.wait(&mut inner),
+            }
+        }
+    }
+
+    /// Marks `me` finished. Valid from `Running` (closure returned without
+    /// draining) or `Draining` (released by quiescence).
+    pub fn finish(&self, me: usize) {
+        let mut inner = self.inner.lock();
+        match inner.procs[me] {
+            ProcState::Running => {
+                inner.running -= 1;
+                inner.procs[me] = ProcState::Done;
+                if inner.running == 0 {
+                    self.dispatch(&mut inner);
+                }
+            }
+            ProcState::Draining => {
+                // Already excluded from `running` by `block_recv`. The
+                // quiescence decision does not need re-evaluation: it fires
+                // only once all drainers are released together.
+                inner.procs[me] = ProcState::Done;
+            }
+            s => panic!("finish() from invalid state {s:?}"),
+        }
+    }
+
+    /// Records a fatal condition and wakes every waiter.
+    pub fn set_poison(&self, p: Poison) {
+        let mut inner = self.inner.lock();
+        self.poison_locked(&mut inner, p);
+    }
+
+    /// Marks `me` dead after a panic and poisons the cluster.
+    pub fn abandon(&self, me: usize, message: String) {
+        let mut inner = self.inner.lock();
+        if inner.procs[me] == ProcState::Running {
+            inner.running -= 1;
+        }
+        inner.procs[me] = ProcState::Done;
+        self.poison_locked(&mut inner, Poison::Panic { proc: me, message });
+    }
+
+    pub fn delivered(&self) -> u64 {
+        self.inner.lock().delivered
+    }
+
+    fn poison_locked(&self, inner: &mut SchedInner<M>, p: Poison) {
+        if inner.poison.is_none() {
+            inner.poison = Some(p);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Delivers the minimal pending event, or detects deadlock/quiescence.
+    /// Must be called with `running == 0`.
+    fn dispatch(&self, inner: &mut SchedInner<M>) {
+        debug_assert_eq!(inner.running, 0);
+        if inner.poison.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        match inner.queue.pop() {
+            Some(Reverse(ev)) => match inner.procs[ev.dst] {
+                ProcState::Blocked | ProcState::Draining => {
+                    inner.slots[ev.dst] = Slot::Msg {
+                        at: ev.deliver_at,
+                        src: ev.src,
+                        msg: ev.msg,
+                    };
+                    inner.procs[ev.dst] = ProcState::Running;
+                    inner.running = 1;
+                    inner.delivered += 1;
+                    self.cv.notify_all();
+                }
+                ProcState::Done => {
+                    self.poison_locked(
+                        inner,
+                        Poison::MessageToFinished {
+                            src: ev.src,
+                            dst: ev.dst,
+                        },
+                    );
+                }
+                // `running == 0` rules this out.
+                ProcState::Running => unreachable!("running proc while dispatching"),
+            },
+            None => {
+                let blocked: Vec<usize> = inner
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| **s == ProcState::Blocked)
+                    .map(|(i, _)| i)
+                    .collect();
+                if !blocked.is_empty() {
+                    self.poison_locked(inner, Poison::Deadlock { blocked });
+                } else {
+                    // Everyone is Draining or Done and nothing is in flight:
+                    // release the drainers.
+                    for (i, s) in inner.procs.iter().enumerate() {
+                        if *s == ProcState::Draining {
+                            inner.slots[i] = Slot::Quiesce;
+                        }
+                    }
+                    self.cv.notify_all();
+                }
+            }
+        }
+    }
+}

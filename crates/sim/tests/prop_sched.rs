@@ -1,0 +1,83 @@
+//! Property-based tests for the deterministic scheduler.
+
+use midway_sim::{Cluster, ClusterConfig, NetModel, ProcHandle, VirtualTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every sent message is delivered exactly once, at a time no earlier
+    /// than its send time plus the wire cost, and per-receiver delivery
+    /// times never decrease.
+    #[test]
+    fn delivery_is_exact_and_monotonic(
+        procs in 2usize..=5,
+        fanout in 1usize..=5,
+        work in proptest::collection::vec(0u64..10_000, 5),
+    ) {
+        let cfg = ClusterConfig::new(procs).net(NetModel {
+            latency_cycles: 100,
+            per_byte_millicycles: 1000,
+            send_overhead_cycles: 50,
+            recv_overhead_cycles: 50,
+        });
+        let work2 = work.clone();
+        let out = Cluster::run(cfg, move |p: &mut ProcHandle<(usize, u64)>| {
+            let me = p.id();
+            let n = p.procs();
+            p.work(work2[me % work2.len()]);
+            // Everyone sends `fanout` messages to the next processor.
+            for k in 0..fanout {
+                let sent_at = p.now();
+                p.send((me + 1) % n, (me, sent_at.cycles()), 16);
+                let _ = k;
+            }
+            // And receives `fanout` messages from the previous one.
+            let mut arrivals = Vec::new();
+            for _ in 0..fanout {
+                let (at, src, (claimed_src, sent_at)) = p.recv();
+                arrivals.push((at, src, claimed_src, sent_at));
+            }
+            arrivals
+        })
+        .expect("simulation failed");
+
+        let mut delivered = 0usize;
+        for (pid, arrivals) in out.results.iter().enumerate() {
+            let mut prev = VirtualTime::ZERO;
+            for &(at, src, claimed_src, sent_at) in arrivals {
+                delivered += 1;
+                prop_assert_eq!(src, claimed_src);
+                prop_assert_eq!(src, (pid + out.results.len() - 1) % out.results.len());
+                // Wire cost: 100 latency + 16 bytes at 1 cycle/byte.
+                prop_assert!(at.cycles() >= sent_at + 116, "delivered before arrival");
+                prop_assert!(at >= prev, "per-receiver delivery went backwards");
+                prev = at;
+            }
+        }
+        prop_assert_eq!(delivered as u64, out.messages_delivered);
+        prop_assert_eq!(delivered, procs * fanout);
+    }
+
+    /// Finish time equals the maximum processor clock and is itself
+    /// deterministic across runs.
+    #[test]
+    fn finish_time_is_max_and_stable(
+        procs in 1usize..=4,
+        work in proptest::collection::vec(1u64..100_000, 4),
+    ) {
+        let run = || {
+            let work = work.clone();
+            Cluster::run(ClusterConfig::new(procs), move |p: &mut ProcHandle<u8>| {
+                p.work(work[p.id() % work.len()]);
+                p.now()
+            })
+            .expect("simulation failed")
+        };
+        let a = run();
+        let max = a.results.iter().copied().max().expect("non-empty");
+        prop_assert_eq!(a.finish_time, max);
+        let b = run();
+        prop_assert_eq!(a.finish_time, b.finish_time);
+    }
+}

@@ -1,0 +1,217 @@
+//! The primitive-operation cost model (paper Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Measured costs of the primitive operations, in cycles.
+///
+/// These are the paper's Table 1 values for a 25 MHz MIPS R3000 running
+/// Mach 3.0 with a 4 KB page size. All simulation charging goes through
+/// this structure so that the Figure 3/4 sweeps (varying the page-fault
+/// service time between a fast exception handler at 122 µs and Mach's
+/// external pager at 1200 µs) are a one-field change.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Processor clock rate in MHz (paper: 25).
+    pub mhz: u32,
+    /// Virtual-memory page size in bytes (paper: 4096).
+    pub page_size: usize,
+
+    // --- RT-DSM primitives ---
+    /// Dirtybit set for a word write (paper: 9 cycles / 0.360 µs).
+    pub dirtybit_set_word: u64,
+    /// Dirtybit set for a doubleword write (paper: 9 cycles).
+    pub dirtybit_set_double: u64,
+    /// Penalty for a misclassified write to private memory: the private
+    /// template returns without side effects (paper: 6 cycles).
+    pub dirtybit_set_private: u64,
+    /// Inline+template base cost for an area (multi-line) write; the
+    /// per-line dirtybit stores are charged on top. Estimated from the
+    /// Appendix A description (stack frame + register saves + call).
+    pub dirtybit_set_area_base: u64,
+    /// Reading a clean dirtybit during collection (paper: 5 cycles).
+    pub dirtybit_read_clean: u64,
+    /// Reading a dirty dirtybit during collection (paper: 4 cycles).
+    pub dirtybit_read_dirty: u64,
+    /// Updating a dirtybit with a new timestamp (paper: 2 cycles).
+    pub dirtybit_update: u64,
+
+    // --- exact measured microseconds for the rounded cycle entries ---
+    // Table 1 reports both cycles and µs; the cycle column is rounded
+    // (0.217 µs is 5.425 cycles at 25 MHz). The integer cycle fields above
+    // drive deterministic simulation charging; these µs values drive the
+    // Table 3/4 derivations, exactly as the paper computes them.
+    /// Clean dirtybit read, measured (paper: 0.217 µs).
+    pub dirtybit_read_clean_us: f64,
+    /// Dirty dirtybit read, measured (paper: 0.187 µs).
+    pub dirtybit_read_dirty_us: f64,
+    /// Dirtybit timestamp update, measured (paper: 0.067 µs).
+    pub dirtybit_update_us: f64,
+    /// Uniform-page diff, measured (paper: 260 µs; the cycle column's
+    /// 7,000 is likewise rounded).
+    pub page_diff_uniform_us: f64,
+
+    // --- §3.5 RT variants ---
+    /// Per-write cost of the update-queue variant (paper: "roughly triples
+    /// the cost of write trapping" → 27 cycles).
+    pub dirtybit_set_queue: u64,
+    /// Per-write cost of the two-level dirtybit variant (paper: one extra
+    /// store, "increasing its length by about 10%" → 10 cycles).
+    pub dirtybit_set_two_level: u64,
+    /// Reading a first-level (summary) dirtybit during collection.
+    pub two_level_l1_read: u64,
+
+    // --- VM-DSM primitives ---
+    /// Servicing a page write fault, including the page copy (twin) and the
+    /// protection call (paper: 30,000 cycles / 1200 µs with Mach's external
+    /// pager; 122 µs with a fast exception handler). Sweepable.
+    pub page_write_fault: u64,
+    /// Diffing a page when none or all of the data changed
+    /// (paper: 7,000 cycles / 260 µs).
+    pub page_diff_uniform: u64,
+    /// Diffing a page when every other word changed
+    /// (paper: 46,750 cycles / 1870 µs).
+    pub page_diff_alternating: u64,
+    /// Protection call to allow read-write access (paper: 3,125 cycles).
+    pub protect_rw: u64,
+    /// Protection call to allow read-only access (paper: 3,175 cycles).
+    pub protect_ro: u64,
+    /// Block copy per KB, cold cache (paper: 2,100 cycles).
+    pub copy_per_kb_cold: u64,
+    /// Block copy per KB, warm cache (paper: 650 cycles).
+    pub copy_per_kb_warm: u64,
+}
+
+impl CostModel {
+    /// The paper's measured values (Table 1): 25 MHz R3000, Mach 3.0.
+    pub fn r3000_mach() -> CostModel {
+        CostModel {
+            mhz: 25,
+            page_size: 4096,
+            dirtybit_set_word: 9,
+            dirtybit_set_double: 9,
+            dirtybit_set_private: 6,
+            dirtybit_set_area_base: 30,
+            dirtybit_read_clean: 5,
+            dirtybit_read_dirty: 4,
+            dirtybit_update: 2,
+            dirtybit_read_clean_us: 0.217,
+            dirtybit_read_dirty_us: 0.187,
+            dirtybit_update_us: 0.067,
+            page_diff_uniform_us: 260.0,
+            dirtybit_set_queue: 27,
+            dirtybit_set_two_level: 10,
+            two_level_l1_read: 5,
+            page_write_fault: 30_000,
+            page_diff_uniform: 7_000,
+            page_diff_alternating: 46_750,
+            protect_rw: 3_125,
+            protect_ro: 3_175,
+            copy_per_kb_cold: 2_100,
+            copy_per_kb_warm: 650,
+        }
+    }
+
+    /// Returns this model with the page-fault service time replaced by
+    /// `micros` microseconds (the Figure 3/4 sweep axis).
+    pub fn with_fault_micros(mut self, micros: f64) -> CostModel {
+        self.page_write_fault = (micros * self.mhz as f64).round() as u64;
+        self
+    }
+
+    /// The page-fault service time of this model, in microseconds.
+    pub fn fault_micros(&self) -> f64 {
+        self.page_write_fault as f64 / self.mhz as f64
+    }
+
+    /// Converts cycles to microseconds under this model's clock.
+    pub fn cycles_to_micros(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.mhz as f64
+    }
+
+    /// Converts cycles to milliseconds under this model's clock.
+    pub fn cycles_to_millis(&self, cycles: u64) -> f64 {
+        self.cycles_to_micros(cycles) / 1_000.0
+    }
+
+    /// Converts cycles to seconds under this model's clock.
+    pub fn cycles_to_secs(&self, cycles: u64) -> f64 {
+        self.cycles_to_micros(cycles) / 1_000_000.0
+    }
+
+    /// Cost of diffing one page whose changed words form `changed_runs`
+    /// maximal runs, out of `words` comparable words.
+    ///
+    /// The paper gives two endpoints: a uniform page (none or all changed,
+    /// 7,000 cycles — a pure scan) and the worst case of every other word
+    /// changed (46,750 cycles — `words/2` runs, each paying run-start
+    /// bookkeeping). We interpolate linearly in the number of runs, which
+    /// matches both endpoints and charges intermediate pages by how
+    /// fragmented their modifications are.
+    pub fn page_diff_cycles(&self, changed_runs: usize, words: usize) -> u64 {
+        if words == 0 {
+            return self.page_diff_uniform;
+        }
+        let max_runs = (words / 2).max(1);
+        let runs = changed_runs.min(max_runs) as u64;
+        let span = self
+            .page_diff_alternating
+            .saturating_sub(self.page_diff_uniform);
+        self.page_diff_uniform + span * runs / max_runs as u64
+    }
+
+    /// Cost of copying `bytes` with the given cache temperature.
+    pub fn copy_cycles(&self, bytes: usize, warm: bool) -> u64 {
+        let per_kb = if warm {
+            self.copy_per_kb_warm
+        } else {
+            self.copy_per_kb_cold
+        };
+        (bytes as u64 * per_kb).div_ceil(1024)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::r3000_mach()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_round_trip_to_microseconds() {
+        let c = CostModel::r3000_mach();
+        // Table 1: 9 cycles = 0.360 µs, 30,000 cycles = 1200 µs.
+        assert!((c.cycles_to_micros(c.dirtybit_set_word) - 0.360).abs() < 1e-9);
+        assert!((c.fault_micros() - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_sweep_endpoint_matches_fast_exception_handler() {
+        let c = CostModel::r3000_mach().with_fault_micros(122.0);
+        assert_eq!(c.page_write_fault, 3_050);
+    }
+
+    #[test]
+    fn diff_interpolation_hits_both_paper_endpoints() {
+        let c = CostModel::r3000_mach();
+        let words = 1024; // 4 KB page of 4-byte words
+        assert_eq!(c.page_diff_cycles(0, words), 7_000);
+        assert_eq!(c.page_diff_cycles(1, words), 7_000 + (46_750 - 7_000) / 512);
+        assert_eq!(c.page_diff_cycles(512, words), 46_750);
+        // More runs than possible is clamped.
+        assert_eq!(c.page_diff_cycles(10_000, words), 46_750);
+    }
+
+    #[test]
+    fn copy_cost_scales_per_kb() {
+        let c = CostModel::r3000_mach();
+        assert_eq!(c.copy_cycles(4096, false), 4 * 2_100);
+        assert_eq!(c.copy_cycles(1024, true), 650);
+        // Partial KBs round up.
+        assert_eq!(c.copy_cycles(1, true), 1);
+        assert_eq!(c.copy_cycles(0, true), 0);
+    }
+}

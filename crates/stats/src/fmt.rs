@@ -1,0 +1,57 @@
+//! Number formatting for report tables.
+
+/// Formats an unsigned integer with thousands separators: `1284004` →
+/// `"1,284,004"`.
+pub fn fmt_u64(v: u64) -> String {
+    let digits = v.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    let offset = digits.len() % 3;
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (i + 3 - offset).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Formats a float with `decimals` fractional digits and thousands
+/// separators in the integer part: `3499.25` → `"3,499.2"` (1 decimal).
+pub fn fmt_f64(v: f64, decimals: usize) -> String {
+    let formatted = format!("{v:.decimals$}");
+    let (sign, rest) = match formatted.strip_prefix('-') {
+        Some(r) => ("-", r),
+        None => ("", formatted.as_str()),
+    };
+    let (int_part, frac_part) = match rest.split_once('.') {
+        Some((i, f)) => (i, Some(f)),
+        None => (rest, None),
+    };
+    let grouped = fmt_u64(int_part.parse::<u64>().unwrap_or(0));
+    match frac_part {
+        Some(f) => format!("{sign}{grouped}.{f}"),
+        None => format!("{sign}{grouped}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_integers() {
+        assert_eq!(fmt_u64(0), "0");
+        assert_eq!(fmt_u64(999), "999");
+        assert_eq!(fmt_u64(1_000), "1,000");
+        assert_eq!(fmt_u64(1_284_004), "1,284,004");
+        assert_eq!(fmt_u64(30_000), "30,000");
+    }
+
+    #[test]
+    fn groups_floats() {
+        assert_eq!(fmt_f64(3499.25, 1), "3,499.2");
+        assert_eq!(fmt_f64(0.36, 3), "0.360");
+        assert_eq!(fmt_f64(-29.1, 1), "-29.1");
+        assert_eq!(fmt_f64(1200.0, 0), "1,200");
+    }
+}

@@ -1,0 +1,187 @@
+//! Plain-text table rendering for the benchmark harnesses.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// The first column is left-aligned (row labels); all other columns are
+/// right-aligned (numbers). Rendering matches what the harness binaries
+/// print and what `EXPERIMENTS.md` records.
+///
+/// # Examples
+///
+/// ```
+/// use midway_stats::TextTable;
+///
+/// let mut t = TextTable::new(&["App", "RT", "VM"]);
+/// t.row(&["water", "15.6", "309.6"]);
+/// let s = t.to_string();
+/// assert!(s.contains("water"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    left_cols: usize,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> TextTable {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            left_cols: 1,
+        }
+    }
+
+    /// Left-aligns the first `n` columns (labels) instead of just the
+    /// first; the rest stay right-aligned (numbers).
+    pub fn left_cols(mut self, n: usize) -> TextTable {
+        self.left_cols = n;
+        self
+    }
+
+    /// Appends a row. Short rows are padded with empty cells.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        let mut row: Vec<String> = cells.iter().map(|c| c.as_ref().to_string()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Appends a separator row (rendered as a dashed line).
+    pub fn separator(&mut self) {
+        self.rows.push(Vec::new());
+    }
+
+    /// Number of data rows (separators included).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (no alignment, separators skipped).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            if row.is_empty() {
+                continue;
+            }
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            if i < self.left_cols {
+                write!(f, "{:<width$}", h, width = widths[i])?;
+            } else {
+                write!(f, "{:>width$}", h, width = widths[i])?;
+            }
+        }
+        writeln!(f)?;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            if row.is_empty() {
+                writeln!(f, "{}", "-".repeat(total))?;
+                continue;
+            }
+            for (i, c) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                if i < self.left_cols {
+                    write!(f, "{:<width$}", c, width = widths[i])?;
+                } else {
+                    write!(f, "{:>width$}", c, width = widths[i])?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["Op", "Count"]);
+        t.row(&["dirtybits set", "43,180"]);
+        t.row(&["faults", "258"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("Op"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numbers right-aligned: both data rows end at same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[2].ends_with("43,180"));
+        assert!(lines[3].ends_with("258"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(&["A", "B", "C"]);
+        t.row(&["x"]);
+        assert_eq!(t.len(), 1);
+        let _ = t.to_string(); // must not panic
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["a,b", "1"]);
+        t.separator();
+        t.row(&["plain", "2"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "name,value\n\"a,b\",1\nplain,2\n");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(&["only"]);
+        assert!(t.is_empty());
+        assert!(t.to_string().contains("only"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based consistency tests: random entry-consistency programs
+//! must preserve counting invariants on every backend.
+
+use std::sync::Arc;
+
+use midway_core::{BackendKind, Midway, MidwayConfig, NetModel, Proc, SystemBuilder, SystemSpec};
+use proptest::prelude::*;
+
+const BACKENDS: [BackendKind; 4] = [
+    BackendKind::Rt,
+    BackendKind::Vm,
+    BackendKind::Blast,
+    BackendKind::TwinAll,
+];
+
+/// A randomly generated lock-counter program: `plan[p][r] = (lock, slot,
+/// delta)` — processor `p`'s r-th action increments `slot` of `lock`'s
+/// region by `delta`.
+#[derive(Clone, Debug)]
+struct Plan {
+    procs: usize,
+    locks: usize,
+    slots_per_lock: usize,
+    actions: Vec<Vec<(usize, usize, u64)>>,
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    (2usize..=4, 1usize..=3, 1usize..=3, 1usize..=8).prop_flat_map(
+        |(procs, locks, slots, rounds)| {
+            let action = (0..locks, 0..slots, 1u64..100);
+            proptest::collection::vec(proptest::collection::vec(action, rounds), procs).prop_map(
+                move |actions| Plan {
+                    procs,
+                    locks,
+                    slots_per_lock: slots,
+                    actions,
+                },
+            )
+        },
+    )
+}
+
+fn build_spec(
+    plan: &Plan,
+) -> (
+    Arc<SystemSpec>,
+    Vec<midway_core::LockId>,
+    midway_core::SharedArray<u64>,
+) {
+    let mut b = SystemBuilder::new();
+    let data = b.shared_array::<u64>("data", plan.locks * plan.slots_per_lock, 1);
+    let locks: Vec<_> = (0..plan.locks)
+        .map(|l| {
+            b.lock(vec![
+                data.range(l * plan.slots_per_lock..(l + 1) * plan.slots_per_lock)
+            ])
+        })
+        .collect();
+    (b.build(), locks, data)
+}
+
+fn run_plan(plan: &Plan, backend: BackendKind) -> Vec<u64> {
+    let (spec, locks, data) = build_spec(plan);
+    let plan = plan.clone();
+    let slots = plan.slots_per_lock;
+    let run = Midway::run(
+        MidwayConfig::new(plan.procs, backend).net(NetModel::atm_cluster()),
+        &spec,
+        move |p: &mut Proc| {
+            for &(lock, slot, delta) in &plan.actions[p.id()] {
+                p.acquire(locks[lock]);
+                let idx = lock * slots + slot;
+                let v = p.read(&data, idx);
+                p.write(&data, idx, v + delta);
+                p.release(locks[lock]);
+            }
+            // Final global read under every lock.
+            let mut finals = Vec::new();
+            for (l, lk) in locks.iter().enumerate() {
+                p.acquire_shared(*lk);
+                for s in 0..slots {
+                    finals.push(p.read(&data, l * slots + s));
+                }
+                p.release_shared(*lk);
+            }
+            finals
+        },
+    )
+    .expect("simulation failed");
+    // The last reader on each slot has seen every increment; take the max
+    // per slot over all processors' final reads.
+    let n = plan.locks * plan.slots_per_lock;
+    (0..n)
+        .map(|i| run.results.iter().map(|r| r[i]).max().unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No increment is ever lost on any backend: the final value of every
+    /// slot equals the sum of the deltas applied to it.
+    #[test]
+    fn no_lost_updates_on_any_backend(plan in plan_strategy()) {
+        let mut expect = vec![0u64; plan.locks * plan.slots_per_lock];
+        for proc_actions in &plan.actions {
+            for &(lock, slot, delta) in proc_actions {
+                expect[lock * plan.slots_per_lock + slot] += delta;
+            }
+        }
+        for backend in BACKENDS {
+            let got = run_plan(&plan, backend);
+            prop_assert_eq!(&got, &expect, "{:?}", backend);
+        }
+    }
+
+    /// The simulation is a pure function of the program: every counter and
+    /// the finish time are identical across repeated runs.
+    #[test]
+    fn runs_are_bit_for_bit_deterministic(plan in plan_strategy()) {
+        let fingerprint = |backend| {
+            let (spec, locks, data) = build_spec(&plan);
+            let plan = plan.clone();
+            let slots = plan.slots_per_lock;
+            let run = Midway::run(
+                MidwayConfig::new(plan.procs, backend),
+                &spec,
+                move |p: &mut Proc| {
+                    for &(lock, slot, delta) in &plan.actions[p.id()] {
+                        p.acquire(locks[lock]);
+                        let idx = lock * slots + slot;
+                        let v = p.read(&data, idx);
+                        p.write(&data, idx, v + delta);
+                        p.release(locks[lock]);
+                    }
+                },
+            )
+            .expect("simulation failed");
+            (
+                run.finish_time,
+                run.messages,
+                run.counters
+                    .iter()
+                    .map(|c| (c.dirtybits_set, c.write_faults, c.data_bytes_sent))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        for backend in [BackendKind::Rt, BackendKind::Vm] {
+            let a = fingerprint(backend);
+            let b = fingerprint(backend);
+            prop_assert_eq!(a, b, "{:?} diverged between runs", backend);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Barrier-partitioned writes propagate exactly: after the barrier
+    /// every processor sees every partition's latest values.
+    #[test]
+    fn barriers_propagate_partitioned_writes(
+        procs in 2usize..=4,
+        per_proc in 1usize..=6,
+        rounds in 1usize..=4,
+        seed in any::<u64>(),
+    ) {
+        for backend in BACKENDS {
+            let n = procs * per_proc;
+            let mut b = SystemBuilder::new();
+            let data = b.shared_array::<u64>("data", n, 1);
+            let partitions: Vec<_> = (0..procs)
+                .map(|q| vec![data.range(q * per_proc..(q + 1) * per_proc)])
+                .collect();
+            let bar = b.barrier_partitioned(vec![data.full_range()], partitions);
+            let spec = b.build();
+            let run = Midway::run(MidwayConfig::new(procs, backend), &spec, |p: &mut Proc| {
+                let me = p.id();
+                let mut rng = midway_core::SplitMix64::new(seed ^ me as u64);
+                for round in 1..=rounds as u64 {
+                    for i in me * per_proc..(me + 1) * per_proc {
+                        p.write(&data, i, round * 1000 + i as u64 + rng.next_below(7));
+                    }
+                    p.barrier(bar);
+                    // Everyone reads a full snapshot after each round.
+                    let snap: Vec<u64> = (0..n).map(|i| p.read(&data, i)).collect();
+                    p.barrier(bar);
+                    let _ = snap;
+                }
+                (0..n).map(|i| p.read(&data, i)).collect::<Vec<u64>>()
+            })
+            .expect("simulation failed");
+            let first = &run.results[0];
+            for (pid, got) in run.results.iter().enumerate() {
+                prop_assert_eq!(got, first, "{:?}: proc {} diverged", backend, pid);
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Repository CI: formatting, lints, build, full test suite, and a
+# record/replay determinism smoke test. Runs fully offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> trace record/replay determinism smoke"
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+cargo run --release -q -p midway-replay --bin trace -- \
+    record --app sor --scale small --procs 4 --out "$smoke/sor.mwt"
+cargo run --release -q -p midway-replay --bin trace -- \
+    replay "$smoke/sor.mwt" --check
+cargo run --release -q -p midway-replay --bin trace -- \
+    replay "$smoke/sor.mwt" --backend vm >/dev/null
+cargo run --release -q -p midway-replay --bin trace -- \
+    info "$smoke/sor.mwt" >/dev/null
+
+echo "==> ci.sh: all green"

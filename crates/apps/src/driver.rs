@@ -1,7 +1,7 @@
 //! A uniform driver over the five applications, used by the benchmark
 //! harnesses to regenerate the paper's tables and figures.
 
-use midway_core::{Counters, MidwayConfig, MidwayRun, VirtualTime};
+use midway_core::{Counters, MidwayConfig, MidwayRun, SpecBlueprint, TraceOp, VirtualTime};
 
 use crate::{cholesky, matmul, quicksort, sor, water};
 
@@ -55,6 +55,17 @@ pub enum Scale {
     Small,
 }
 
+impl Scale {
+    /// A short label for file names and trace metadata.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Medium => "medium",
+            Scale::Small => "small",
+        }
+    }
+}
+
 /// Backend-erased outcome of one application run.
 #[derive(Clone, Debug)]
 pub struct AppOutcome {
@@ -76,6 +87,20 @@ pub struct AppOutcome {
     pub messages: u64,
     /// Whether the application verified its own output.
     pub verified: bool,
+    /// Per-processor recorded operation streams (empty unless the run was
+    /// configured with `MidwayConfig::record`).
+    pub traces: Vec<Vec<TraceOp>>,
+    /// The system blueprint, captured when recording.
+    pub blueprint: Option<SpecBlueprint>,
+}
+
+impl AppOutcome {
+    /// Packages any finished run as an outcome — e.g. a trace replay,
+    /// which carries no application results of its own; the caller passes
+    /// the `verified` flag recorded with the trace.
+    pub fn from_run<R>(kind: AppKind, run: MidwayRun<R>, verified: bool) -> AppOutcome {
+        erase(kind, run, verified)
+    }
 }
 
 fn erase<R>(kind: AppKind, run: MidwayRun<R>, verified: bool) -> AppOutcome {
@@ -89,6 +114,8 @@ fn erase<R>(kind: AppKind, run: MidwayRun<R>, verified: bool) -> AppOutcome {
         messages: run.messages,
         counters: run.counters,
         verified,
+        traces: run.traces,
+        blueprint: run.blueprint,
     }
 }
 

@@ -10,39 +10,59 @@
 //!   what changed;
 //! * large lines: cheaper area traps and scans, but a sparse writer drags
 //!   whole lines of unmodified data across the network.
+//!
+//! Record once, sweep many: the workload is recorded once per writer
+//! density at the finest line size, then each other line size is
+//! evaluated by replaying the trace against a rebuilt system — the
+//! recorded byte stream is independent of the coherency unit.
 
-use midway_core::{BackendKind, Counters, Midway, MidwayConfig, Proc, SystemBuilder};
+use midway_bench::{BenchArgs, Json};
+use midway_core::{BackendKind, Counters, Midway, MidwayConfig, MidwayRun, Proc, SystemBuilder};
+use midway_replay::{replay_on, verify_replay, Trace};
 use midway_stats::{fmt_f64, fmt_u64, TextTable};
 
-fn run_case(elems_per_line: usize, stride: usize) -> (f64, f64, u64, u64) {
-    let n = 8 * 1024; // 64 KB of f64
-    let procs = 4;
+const N: usize = 8 * 1024; // 64 KB of f64
+const PROCS: usize = 4;
+const ROUNDS: usize = 8;
+
+/// Records the rotating-writer workload once, at one-element (8 B) lines.
+fn record(stride: usize, label: &str) -> Trace {
     let mut b = SystemBuilder::new();
-    let data = b.shared_array::<f64>("data", n, elems_per_line);
+    let data = b.shared_array::<f64>("data", N, 1);
     let lock = b.lock(vec![data.full_range()]);
     let done = b.barrier(vec![]);
     let spec = b.build();
-    let run = Midway::run(
-        MidwayConfig::new(procs, BackendKind::Rt),
-        &spec,
-        |p: &mut Proc| {
-            // Each round one processor writes every `stride`-th element of
-            // its quarter; the next round's writer pulls the lock across.
-            for round in 0..8usize {
-                if round % procs == p.id() {
-                    p.acquire(lock);
-                    let chunk = n / procs;
-                    let lo = p.id() * chunk;
-                    for i in (lo..lo + chunk).step_by(stride) {
-                        p.write(&data, i, (round * i) as f64);
-                    }
-                    p.release(lock);
+    let cfg = MidwayConfig::new(PROCS, BackendKind::Rt).record(true);
+    let run: MidwayRun<()> = Midway::run(cfg, &spec, |p: &mut Proc| {
+        // Each round one processor writes every `stride`-th element of
+        // its quarter; the next round's writer pulls the lock across.
+        for round in 0..ROUNDS {
+            if round % PROCS == p.id() {
+                p.acquire(lock);
+                let chunk = N / PROCS;
+                let lo = p.id() * chunk;
+                for i in (lo..lo + chunk).step_by(stride) {
+                    p.write(&data, i, (round * i) as f64);
                 }
-                p.barrier(done);
+                p.release(lock);
             }
-        },
-    )
+            p.barrier(done);
+        }
+    })
     .unwrap();
+    Trace::from_run(label, "fixed", true, &run)
+}
+
+fn measure(trace: &Trace, elems_per_line: usize) -> (f64, f64, u64, u64) {
+    let line_shift = 3 + elems_per_line.trailing_zeros(); // 8 B elements
+    let run = if elems_per_line == 1 {
+        // The recorded line size: take the equivalence-oracle path.
+        verify_replay(trace).unwrap_or_else(|d| panic!("linesize replay diverged: {d}"))
+    } else {
+        let spec = trace.blueprint.with_shared_line_shift(line_shift).build();
+        replay_on(trace, trace.recorded_cfg(), &spec)
+            .unwrap_or_else(|e| panic!("linesize replay failed: {e}"))
+    };
     let avg = Counters::average(&run.counters);
     (
         run.cfg.cost.cycles_to_millis(run.finish_time.cycles()),
@@ -53,12 +73,15 @@ fn run_case(elems_per_line: usize, stride: usize) -> (f64, f64, u64, u64) {
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("== Ablation: cache-line size sweep (RT-DSM) ==\n");
-    for (label, stride) in [
-        ("dense writer (every element)", 1),
-        ("sparse writer (every 8th)", 8),
+    let mut tables = Vec::new();
+    for (key, label, stride) in [
+        ("dense", "dense writer (every element)", 1usize),
+        ("sparse", "sparse writer (every 8th)", 8),
     ] {
         println!("-- {label} --");
+        let trace = record(stride, key);
         let mut t = TextTable::new(&[
             "line size (B)",
             "exec (ms)",
@@ -67,7 +90,7 @@ fn main() {
             "bits scanned",
         ]);
         for elems_per_line in [1usize, 4, 16, 64, 512] {
-            let (ms, kb, set, scanned) = run_case(elems_per_line, stride);
+            let (ms, kb, set, scanned) = measure(&trace, elems_per_line);
             t.row(&[
                 fmt_u64(8 * elems_per_line as u64),
                 fmt_f64(ms, 1),
@@ -77,9 +100,16 @@ fn main() {
             ]);
         }
         println!("{t}");
+        tables.push((key, t));
     }
     println!("Reading: a dense writer favours large lines (fewer bits, same data);");
     println!("a sparse writer pays for them in excess data — the unit of coherency");
     println!("should match the application's write granularity, which is exactly");
     println!("the knob VM-DSM lacks (its unit is pinned to the 4 KB page).");
+
+    let mut pairs = args.meta_json("ablation_linesize");
+    for (key, t) in &tables {
+        pairs.push(((*key).to_string(), Json::table(t)));
+    }
+    args.emit("ablation_linesize", &Json::Obj(pairs));
 }

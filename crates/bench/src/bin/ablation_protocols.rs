@@ -10,19 +10,31 @@
 //! faults by increasing the amount of data diffed cannot minimize the
 //! total cost of write detection".
 //!
+//! One cached RT trace per application drives all four backends: the
+//! recorded op stream captures what the application did, so replaying it
+//! under another backend reproduces that backend's live run exactly.
+//! `--live` forces live application runs instead.
+//!
 //! Pass `--net-sweep` to also rerun RT/VM under a 2× faster and 2× slower
 //! network, demonstrating that the RT-vs-VM ordering is insensitive to the
 //! estimated network constants.
 
-use midway_apps::{run_app, AppKind};
-use midway_bench::{banner, procs_from_args, scale_from_args};
+use midway_apps::{run_app, AppKind, AppOutcome};
+use midway_bench::{backend_tag, banner, cached_trace, replay_outcome, BenchArgs, Json};
 use midway_core::{BackendKind, MidwayConfig, NetModel};
+use midway_replay::replay;
 use midway_stats::{fmt_f64, TextTable};
 
+const BACKENDS: [BackendKind; 4] = [
+    BackendKind::Rt,
+    BackendKind::Vm,
+    BackendKind::Blast,
+    BackendKind::TwinAll,
+];
+
 fn main() {
-    let scale = scale_from_args();
-    let procs = procs_from_args();
-    banner("Ablation: §3.5 alternative strategies", scale, procs);
+    let args = BenchArgs::parse();
+    banner("Ablation: §3.5 alternative strategies", &args);
 
     let mut t = TextTable::new(&[
         "App",
@@ -35,46 +47,100 @@ fn main() {
         "Blast MB",
         "TwinAll MB",
     ]);
+    let mut apps_json = Vec::new();
     for app in AppKind::all() {
-        eprintln!("running {} ...", app.label());
-        let outs: Vec<_> = [
-            BackendKind::Rt,
-            BackendKind::Vm,
-            BackendKind::Blast,
-            BackendKind::TwinAll,
-        ]
-        .into_iter()
-        .map(|b| {
-            let out = run_app(app, MidwayConfig::new(procs, b), scale);
-            assert!(out.verified, "{app:?} under {b:?} failed verification");
-            out
-        })
-        .collect();
+        let outs: Vec<AppOutcome> = if args.flag("--live") {
+            eprintln!("running {} (live) ...", app.label());
+            BACKENDS
+                .into_iter()
+                .map(|b| {
+                    let out = run_app(app, MidwayConfig::new(args.procs, b), args.scale);
+                    assert!(out.verified, "{app:?} under {b:?} failed verification");
+                    out
+                })
+                .collect()
+        } else {
+            let trace = cached_trace(&args, app, BackendKind::Rt);
+            BACKENDS
+                .into_iter()
+                .map(|b| replay_outcome(&trace, app, b))
+                .collect()
+        };
         let mut cells = vec![app.label().to_string()];
         cells.extend(outs.iter().map(|o| fmt_f64(o.exec_secs, 1)));
         cells.extend(outs.iter().map(|o| fmt_f64(o.data_mb_total, 2)));
         t.row(&cells);
+        apps_json.push(Json::obj([
+            ("app", Json::str(app.label())),
+            (
+                "exec_secs",
+                Json::obj(
+                    BACKENDS
+                        .iter()
+                        .zip(&outs)
+                        .map(|(b, o)| (backend_tag(*b), Json::F64(o.exec_secs))),
+                ),
+            ),
+            (
+                "data_mb",
+                Json::obj(
+                    BACKENDS
+                        .iter()
+                        .zip(&outs)
+                        .map(|(b, o)| (backend_tag(*b), Json::F64(o.data_mb_total))),
+                ),
+            ),
+        ]));
     }
     println!("{t}");
 
-    if std::env::args().any(|a| a == "--net-sweep") {
+    let mut pairs = args.meta_json("ablation_protocols");
+    pairs.push(("apps".to_string(), Json::Arr(apps_json)));
+
+    if args.flag("--net-sweep") {
         println!("\n== Network sensitivity (RT vs VM execution time, s) ==");
         let mut t = TextTable::new(&[
             "App", "RT 0.5x", "VM 0.5x", "RT 1x", "VM 1x", "RT 2x", "VM 2x",
         ]);
+        let mut sweep_json = Vec::new();
         for app in AppKind::all() {
-            eprintln!("net-sweep {} ...", app.label());
+            let trace = (!args.flag("--live")).then(|| cached_trace(&args, app, BackendKind::Rt));
             let mut cells = vec![app.label().to_string()];
+            let mut points = Vec::new();
             for (num, den) in [(1u64, 2u64), (1, 1), (2, 1)] {
                 for b in [BackendKind::Rt, BackendKind::Vm] {
-                    let cfg =
-                        MidwayConfig::new(procs, b).net(NetModel::atm_cluster().scaled(num, den));
-                    let out = run_app(app, cfg, scale);
-                    cells.push(fmt_f64(out.exec_secs, 1));
+                    let net = NetModel::atm_cluster().scaled(num, den);
+                    let secs = match &trace {
+                        Some(trace) => {
+                            let mut cfg = trace.recorded_cfg().net(net);
+                            cfg.backend = b;
+                            let run = replay(trace, cfg)
+                                .unwrap_or_else(|e| panic!("{app:?} net replay failed: {e}"));
+                            AppOutcome::from_run(app, run, trace.meta.verified).exec_secs
+                        }
+                        None => {
+                            eprintln!("net-sweep {} (live) ...", app.label());
+                            let cfg = MidwayConfig::new(args.procs, b).net(net);
+                            run_app(app, cfg, args.scale).exec_secs
+                        }
+                    };
+                    cells.push(fmt_f64(secs, 1));
+                    points.push(Json::obj([
+                        ("backend", Json::str(backend_tag(b))),
+                        ("net_scale", Json::F64(num as f64 / den as f64)),
+                        ("exec_secs", Json::F64(secs)),
+                    ]));
                 }
             }
             t.row(&cells);
+            sweep_json.push(Json::obj([
+                ("app", Json::str(app.label())),
+                ("points", Json::Arr(points)),
+            ]));
         }
         println!("{t}");
+        pairs.push(("net_sweep".to_string(), Json::Arr(sweep_json)));
     }
+
+    args.emit("ablation_protocols", &Json::Obj(pairs));
 }

@@ -9,6 +9,7 @@
 //! two-level scheme adds one store (~10%) to the write path and skips
 //! clean groups at collection.
 
+use midway_bench::{BenchArgs, Json};
 use midway_proto::untargetted::{simulate, RtVariant};
 use midway_sim::SplitMix64;
 use midway_stats::{fmt_u64, CostModel, TextTable};
@@ -28,6 +29,8 @@ fn trace(kind: &str, lines: usize, writes: usize, rng: &mut SplitMix64) -> Vec<u
 }
 
 fn main() {
+    let args = BenchArgs::parse();
+    let mut pairs = args.meta_json("ablation_rt_variants");
     let cost = CostModel::r3000_mach();
     let lines = 1 << 20; // 1 Mi cache lines of shared space
     println!("== Ablation: §3.5 RT variants for untargetted models ==");
@@ -74,9 +77,12 @@ fn main() {
         }
         println!("-- {} writes --", fmt_u64(density as u64));
         println!("{t}");
+        pairs.push((format!("writes_{density}"), Json::table(&t)));
     }
     println!("Reading: with sparse writes the flat scan pays for the whole shared");
     println!("space; two-level skips clean groups; the queue is proportional to the");
     println!("dirty data. With dense writes the flat array's 9-cycle traps win and");
     println!("the queue's tripled write path dominates — matching §3.5.");
+
+    args.emit("ablation_rt_variants", &Json::Obj(pairs));
 }

@@ -9,10 +9,12 @@
 //! whole-page diff and a protection call per round — the paper's point
 //! that "mechanisms to handle false sharing can increase runtime overhead".
 
+use midway_bench::BenchArgs;
 use midway_core::{BackendKind, Counters, Midway, MidwayConfig, Proc, SystemBuilder};
 use midway_stats::{fmt_f64, fmt_u64, TextTable};
 
 fn main() {
+    let args = BenchArgs::parse();
     let rounds = 200u32;
     println!("== False-sharing microbenchmark: adjacent words, {rounds} rounds ==\n");
     let mut t = TextTable::new(&[
@@ -66,4 +68,6 @@ fn main() {
     println!("Reading: RT's per-word lines make the exchange four bytes per round;");
     println!("VM's 4 KB coherency machinery re-faults, re-twins and re-diffs the");
     println!("shared page every round even though a single word changed.");
+
+    args.emit_tables("false_sharing", &[("table", &t)]);
 }

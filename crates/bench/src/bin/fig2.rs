@@ -5,20 +5,20 @@
 //! the data transferred in an eight-processor execution. The text also
 //! gives uniprocessor DSM times for water (RT 110.1 s, VM 109.1 s,
 //! standalone 104.2 s), reproduced here by the one-processor columns.
+//!
+//! Trace-driven: each (application, cluster size) pair is recorded once —
+//! standalone, one processor, `--procs` processors — and later
+//! invocations replay the cached traces (`--live` forces live runs).
 
 use midway_apps::{run_app, AppKind};
-use midway_bench::{banner, procs_from_args, scale_from_args};
+use midway_bench::{banner, cached_trace_with, replay_outcome, rt_vm_outcomes, BenchArgs, Json};
 use midway_core::{BackendKind, MidwayConfig};
 use midway_stats::{fmt_f64, TextTable};
 
 fn main() {
-    let scale = scale_from_args();
-    let procs = procs_from_args();
-    banner(
-        "Figure 2: execution time and data transferred",
-        scale,
-        procs,
-    );
+    let args = BenchArgs::parse();
+    let procs = args.procs;
+    banner("Figure 2: execution time and data transferred", &args);
 
     let mut t = TextTable::new(&[
         "App",
@@ -30,22 +30,18 @@ fn main() {
         "RT data (MB)",
         "VM data (MB)",
     ]);
+    let mut apps_json = Vec::new();
     for app in AppKind::all() {
-        eprintln!("running {} ...", app.label());
-        let solo = run_app(app, MidwayConfig::standalone(), scale);
-        let rt1 = run_app(app, MidwayConfig::new(1, BackendKind::Rt), scale);
-        let vm1 = run_app(app, MidwayConfig::new(1, BackendKind::Vm), scale);
-        let rt = run_app(app, MidwayConfig::new(procs, BackendKind::Rt), scale);
-        let vm = run_app(app, MidwayConfig::new(procs, BackendKind::Vm), scale);
-        for (label, out) in [
-            ("standalone", &solo),
-            ("RT 1p", &rt1),
-            ("VM 1p", &vm1),
-            ("RT", &rt),
-            ("VM", &vm),
-        ] {
-            assert!(out.verified, "{app:?} {label} failed verification");
-        }
+        let solo = if args.flag("--live") {
+            let out = run_app(app, MidwayConfig::standalone(), args.scale);
+            assert!(out.verified, "{app:?} standalone failed verification");
+            out
+        } else {
+            let trace = cached_trace_with(&args, app, BackendKind::None, 1);
+            replay_outcome(&trace, app, BackendKind::None)
+        };
+        let (rt1, vm1) = rt_vm_outcomes(&args, app, 1);
+        let (rt, vm) = rt_vm_outcomes(&args, app, procs);
         t.row(&[
             app.label().to_string(),
             fmt_f64(solo.exec_secs, 1),
@@ -56,10 +52,24 @@ fn main() {
             fmt_f64(rt.data_mb_total, 2),
             fmt_f64(vm.data_mb_total, 2),
         ]);
+        apps_json.push(Json::obj([
+            ("app", Json::str(app.label())),
+            ("standalone_secs", Json::F64(solo.exec_secs)),
+            ("rt_1p_secs", Json::F64(rt1.exec_secs)),
+            ("vm_1p_secs", Json::F64(vm1.exec_secs)),
+            ("rt_secs", Json::F64(rt.exec_secs)),
+            ("vm_secs", Json::F64(vm.exec_secs)),
+            ("rt_data_mb", Json::F64(rt.data_mb_total)),
+            ("vm_data_mb", Json::F64(vm.data_mb_total)),
+        ]));
     }
     println!("{t}");
     println!("\nPaper reference points: water uniprocessor RT 110.1 s, VM 109.1 s,");
     println!("standalone 104.2 s. At eight processors the paper finds VM ahead only");
     println!("for quicksort; water, sor and cholesky run faster and move less data");
     println!("under RT-DSM; matrix shows only a minor difference.");
+
+    let mut pairs = args.meta_json("fig2");
+    pairs.push(("apps".to_string(), Json::Arr(apps_json)));
+    args.emit("fig2", &Json::Obj(pairs));
 }

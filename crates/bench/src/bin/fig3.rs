@@ -8,21 +8,17 @@
 //!
 //! Invocation counts do not depend on the fault cost, so the sweep is
 //! computed from one measured run per system — exactly how the paper
-//! derives the figure.
+//! derives the figure. Here that one run per application comes from the
+//! trace cache: recorded on the first invocation, replayed afterwards.
 
-use midway_bench::{banner, procs_from_args, run_suite, scale_from_args};
+use midway_bench::{banner, run_suite, BenchArgs, Json};
 use midway_core::{report, BackendKind, Counters};
 use midway_stats::{fmt_f64, CostModel, FaultSweep, TextTable};
 
 fn main() {
-    let scale = scale_from_args();
-    let procs = procs_from_args();
-    banner(
-        "Figure 3: trapping cost vs page-fault service time",
-        scale,
-        procs,
-    );
-    let suite = run_suite(scale, procs);
+    let args = BenchArgs::parse();
+    banner("Figure 3: trapping cost vs page-fault service time", &args);
+    let suite = run_suite(&args);
     let sweep = FaultSweep::paper(7);
     let models = sweep.models(CostModel::r3000_mach());
 
@@ -36,17 +32,17 @@ fn main() {
     let headers: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut t = TextTable::new(&headers);
 
+    let mut apps_json = Vec::new();
     for s in &suite {
         let rt_avg = Counters::average(&s.rt.counters);
         let vm_avg = Counters::average(&s.vm.counters);
         let rt_ms = report::trapping_millis(BackendKind::Rt, &rt_avg, &models[0]);
+        let vm_ms: Vec<f64> = models
+            .iter()
+            .map(|m| report::trapping_millis(BackendKind::Vm, &vm_avg, m))
+            .collect();
         let mut cells = vec![s.app.label().to_string(), fmt_f64(rt_ms, 1)];
-        for m in &models {
-            cells.push(fmt_f64(
-                report::trapping_millis(BackendKind::Vm, &vm_avg, m),
-                1,
-            ));
-        }
+        cells.extend(vm_ms.iter().map(|v| fmt_f64(*v, 1)));
         // Break-even fault time: RT trap time == faults × fault time.
         let faults = vm_avg.avg(|c| c.write_faults);
         let break_even = if faults > 0.0 {
@@ -60,9 +56,23 @@ fn main() {
             "inf".to_string()
         });
         t.row(&cells);
+        apps_json.push(Json::obj([
+            ("app", Json::str(s.app.label())),
+            ("rt_trap_ms", Json::F64(rt_ms)),
+            ("vm_trap_ms", Json::arr(vm_ms.into_iter().map(Json::F64))),
+            ("break_even_us", Json::F64(break_even)),
+        ]));
     }
     println!("{t}");
     println!("\nReading: VM trapping below the RT column favours VM at that fault");
     println!("cost. The paper finds most applications span the break-even point;");
     println!("medium/fine-grained ones favour RT-DSM across the whole range.");
+
+    let mut pairs = args.meta_json("fig3");
+    pairs.push((
+        "fault_us".to_string(),
+        Json::arr(models.iter().map(|m| Json::F64(m.fault_micros()))),
+    ));
+    pairs.push(("apps".to_string(), Json::Arr(apps_json)));
+    args.emit("fig3", &Json::Obj(pairs));
 }

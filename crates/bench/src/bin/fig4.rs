@@ -7,20 +7,20 @@
 //! dominates VM-DSM" for the medium and fine-grained applications. The
 //! paper reports break-even fault times of 650 µs for matrix-multiply and
 //! 696 µs for quicksort.
+//!
+//! Like `fig3`, the sweep derives from one cached trace per application.
 
-use midway_bench::{banner, procs_from_args, run_suite, scale_from_args};
+use midway_bench::{banner, run_suite, BenchArgs, Json};
 use midway_core::{report, BackendKind, Counters};
 use midway_stats::{fmt_f64, CostModel, FaultSweep, TextTable};
 
 fn main() {
-    let scale = scale_from_args();
-    let procs = procs_from_args();
+    let args = BenchArgs::parse();
     banner(
         "Figure 4: total detection cost vs page-fault service time",
-        scale,
-        procs,
+        &args,
     );
-    let suite = run_suite(scale, procs);
+    let suite = run_suite(&args);
     let sweep = FaultSweep::paper(7);
     let models = sweep.models(CostModel::r3000_mach());
 
@@ -34,17 +34,19 @@ fn main() {
     let headers: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut t = TextTable::new(&headers);
 
+    let mut apps_json = Vec::new();
     for s in &suite {
         let rt_avg = Counters::average(&s.rt.counters);
         let vm_avg = Counters::average(&s.vm.counters);
         let rt_total = report::trapping_millis(BackendKind::Rt, &rt_avg, &models[0])
             + report::collection_millis(BackendKind::Rt, &rt_avg, &models[0]).total();
         let vm_collect = report::collection_millis(BackendKind::Vm, &vm_avg, &models[0]).total();
+        let vm_total: Vec<f64> = models
+            .iter()
+            .map(|m| report::trapping_millis(BackendKind::Vm, &vm_avg, m) + vm_collect)
+            .collect();
         let mut cells = vec![s.app.label().to_string(), fmt_f64(rt_total, 1)];
-        for m in &models {
-            let vm_total = report::trapping_millis(BackendKind::Vm, &vm_avg, m) + vm_collect;
-            cells.push(fmt_f64(vm_total, 1));
-        }
+        cells.extend(vm_total.iter().map(|v| fmt_f64(*v, 1)));
         // Break-even fault time: RT total == faults × fault + VM collect.
         let faults = vm_avg.avg(|c| c.write_faults);
         let break_even = if faults > 0.0 {
@@ -60,9 +62,27 @@ fn main() {
             "inf".to_string()
         });
         t.row(&cells);
+        apps_json.push(Json::obj([
+            ("app", Json::str(s.app.label())),
+            ("rt_total_ms", Json::F64(rt_total)),
+            ("vm_collect_ms", Json::F64(vm_collect)),
+            (
+                "vm_total_ms",
+                Json::arr(vm_total.into_iter().map(Json::F64)),
+            ),
+            ("break_even_us", Json::F64(break_even)),
+        ]));
     }
     println!("{t}");
     println!("\nPaper reference: break-even at 650 us (matrix-multiply) and 696 us");
     println!("(quicksort); the medium and fine-grain applications sit below the");
     println!("diagonal for every fault cost — RT-DSM dominates.");
+
+    let mut pairs = args.meta_json("fig4");
+    pairs.push((
+        "fault_us".to_string(),
+        Json::arr(models.iter().map(|m| Json::F64(m.fault_micros()))),
+    ));
+    pairs.push(("apps".to_string(), Json::Arr(apps_json)));
+    args.emit("fig4", &Json::Obj(pairs));
 }

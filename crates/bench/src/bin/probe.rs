@@ -1,32 +1,47 @@
-//! Wall-clock probe: how long does each paper-scale run take on the host?
+//! Wall-clock probe: how long does each run take on the host?
+//!
+//! Always runs the applications live (its purpose is to measure host
+//! cost), and also times a trace record + replay per configuration so the
+//! trace-driven speedup of the other harnesses can be quantified
+//! (`--no-replay` skips that part).
 
 use std::time::Instant;
 
-use midway_apps::{run_app, AppKind, Scale};
-use midway_core::{BackendKind, MidwayConfig};
+use midway_apps::AppKind;
+use midway_bench::{backend_tag, BenchArgs, Json};
+use midway_core::{BackendKind, Counters, MidwayConfig};
+use midway_replay::{record_app, verify_replay};
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("medium") => Scale::Medium,
-        Some("small") => Scale::Small,
-        _ => Scale::Paper,
-    };
+    let args = BenchArgs::parse();
+    let time_replay = !args.flag("--no-replay");
+    let mut rows = Vec::new();
     for kind in AppKind::all() {
         for backend in [BackendKind::Rt, BackendKind::Vm] {
+            let cfg = MidwayConfig::new(args.procs, backend);
             let t0 = Instant::now();
-            let out = run_app(kind, MidwayConfig::new(8, backend), scale);
-            let avg = midway_core::Counters::average(&out.counters);
-            println!(
-                "{:10} {:8} host {:6.1}s | sim {:8.1}s  data {:7.2} MB  msgs {:8}  verified {}",
+            let (out, trace) = record_app(kind, cfg, args.scale);
+            let live_secs = t0.elapsed().as_secs_f64();
+            let replay_secs = time_replay.then(|| {
+                let t1 = Instant::now();
+                verify_replay(&trace).unwrap_or_else(|d| panic!("replay diverged: {d}"));
+                t1.elapsed().as_secs_f64()
+            });
+            let avg = Counters::average(&out.counters);
+            print!(
+                "{:10} {:8} host {:6.1}s",
                 kind.label(),
-                format!("{backend:?}"),
-                t0.elapsed().as_secs_f64(),
-                out.exec_secs,
-                out.data_mb_total,
-                out.messages,
-                out.verified
+                backend.label(),
+                live_secs
             );
-            if std::env::args().any(|a| a == "-v") {
+            if let Some(r) = replay_secs {
+                print!(" replay {r:6.1}s ({:4.1}x)", live_secs / r.max(1e-9));
+            }
+            println!(
+                " | sim {:8.1}s  data {:7.2} MB  msgs {:8}  verified {}",
+                out.exec_secs, out.data_mb_total, out.messages, out.verified
+            );
+            if args.flag("-v") {
                 println!(
                     "    set {:9.0} miscl {:4.0} clean {:9.0} dirty {:9.0} upd {:9.0} | faults {:7.0} diffed {:7.0} prot {:7.0} twinKB {:7.0} fulls {:6.0}",
                     avg.avg(|c| c.dirtybits_set),
@@ -41,6 +56,22 @@ fn main() {
                     avg.avg(|c| c.full_data_sends),
                 );
             }
+            rows.push(Json::obj([
+                ("app", Json::str(kind.label())),
+                ("backend", Json::str(backend_tag(backend))),
+                ("host_secs", Json::F64(live_secs)),
+                (
+                    "replay_secs",
+                    replay_secs.map(Json::F64).unwrap_or(Json::Null),
+                ),
+                ("sim_secs", Json::F64(out.exec_secs)),
+                ("data_mb", Json::F64(out.data_mb_total)),
+                ("messages", Json::U64(out.messages)),
+                ("verified", Json::Bool(out.verified)),
+            ]));
         }
     }
+    let mut pairs = args.meta_json("probe");
+    pairs.push(("runs".to_string(), Json::Arr(rows)));
+    args.emit("probe", &Json::Obj(pairs));
 }

@@ -5,9 +5,11 @@
 //! harness prints the model (for the record in `EXPERIMENTS.md`) and
 //! cross-checks the µs/cycles columns against each other.
 
+use midway_bench::BenchArgs;
 use midway_stats::{fmt_f64, fmt_u64, CostModel, TextTable};
 
 fn main() {
+    let args = BenchArgs::parse();
     let c = CostModel::r3000_mach();
     println!("== Table 1: primitive operation costs (model inputs) ==");
     println!("platform: {} MHz R3000, {} B pages\n", c.mhz, c.page_size);
@@ -101,4 +103,6 @@ fn main() {
     println!("\nNote: Table 1's cycle column is the paper's rounding of the measured");
     println!("microseconds; charging uses cycles, Table 3/4 derivations use the");
     println!("exact microseconds, exactly as the paper does.");
+
+    args.emit_tables("table1", &[("table", &t)]);
 }

@@ -4,15 +4,14 @@
 //! cluster and prints the measured per-processor averages, in the paper's
 //! row layout.
 
-use midway_bench::{banner, procs_from_args, run_suite, scale_from_args};
+use midway_bench::{banner, run_suite, BenchArgs};
 use midway_core::Counters;
 use midway_stats::{fmt_f64, fmt_u64, TextTable};
 
 fn main() {
-    let scale = scale_from_args();
-    let procs = procs_from_args();
-    banner("Table 2: per-processor invocation counts", scale, procs);
-    let suite = run_suite(scale, procs);
+    let args = BenchArgs::parse();
+    banner("Table 2: per-processor invocation counts", &args);
+    let suite = run_suite(&args);
 
     let headers: Vec<String> = ["System", "Operation"]
         .iter()
@@ -137,4 +136,6 @@ fn main() {
     println!("RT dirtybits set:    43,180 / 220,804 / 98,311 / 348,516 / 1,284,004");
     println!("VM write faults:        258 /     156 /     74 /     468 /     2,916");
     println!("VM pages diffed:        253 /      27 /    120 /     674 /     3,107");
+
+    args.emit_tables("table2", &[("table", &t)]);
 }

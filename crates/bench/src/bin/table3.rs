@@ -4,15 +4,14 @@
 //! of the primitive operations and multiplying by the average
 //! per-processor number of invocations for each application."
 
-use midway_bench::{banner, procs_from_args, run_suite, scale_from_args};
+use midway_bench::{banner, run_suite, BenchArgs};
 use midway_core::{report, BackendKind, Counters};
 use midway_stats::{fmt_f64, CostModel, TextTable};
 
 fn main() {
-    let scale = scale_from_args();
-    let procs = procs_from_args();
-    banner("Table 3: write trapping time (ms)", scale, procs);
-    let suite = run_suite(scale, procs);
+    let args = BenchArgs::parse();
+    banner("Table 3: write trapping time (ms)", &args);
+    let suite = run_suite(&args);
     let cost = CostModel::r3000_mach();
 
     let headers: Vec<String> = ["System", "Operation"]
@@ -56,4 +55,6 @@ fn main() {
     println!("\nPaper Table 3 (8 procs, paper inputs), for comparison:");
     println!("RT: 15.6 / 79.5 / 35.4 / 125.5 /   485.3");
     println!("VM: 309.6 / 187.2 / 88.8 / 561.6 / 3,499.2");
+
+    args.emit_tables("table3", &[("table", &t)]);
 }

@@ -1,15 +1,14 @@
 //! Table 4: summary of the cost for write collection, per-processor
 //! average, broken into the paper's rows.
 
-use midway_bench::{banner, procs_from_args, run_suite, scale_from_args};
+use midway_bench::{banner, run_suite, BenchArgs};
 use midway_core::{report, BackendKind, Counters};
 use midway_stats::{fmt_f64, CostModel, TextTable};
 
 fn main() {
-    let scale = scale_from_args();
-    let procs = procs_from_args();
-    banner("Table 4: write collection time (ms)", scale, procs);
-    let suite = run_suite(scale, procs);
+    let args = BenchArgs::parse();
+    banner("Table 4: write collection time (ms)", &args);
+    let suite = run_suite(&args);
     let cost = CostModel::r3000_mach();
 
     let headers: Vec<String> = ["System", "Operation"]
@@ -102,4 +101,6 @@ fn main() {
     println!("\nPaper Table 4 totals (8 procs, paper inputs), for comparison:");
     println!("RT: 14.9 / 50.4 / 59.6 /  64.1 /   771.4");
     println!("VM: 123.3 / 21.3 / 46.8 / 262.0 / 1,335.4");
+
+    args.emit_tables("table4", &[("table", &t)]);
 }

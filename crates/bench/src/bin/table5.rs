@@ -2,19 +2,17 @@
 //!
 //! "All counts are in units of 1000 and are per-processor averages."
 
-use midway_bench::{banner, procs_from_args, run_suite, scale_from_args};
+use midway_bench::{banner, run_suite, BenchArgs};
 use midway_core::{report, BackendKind, Counters};
 use midway_stats::{fmt_f64, CostModel, TextTable};
 
 fn main() {
-    let scale = scale_from_args();
-    let procs = procs_from_args();
+    let args = BenchArgs::parse();
     banner(
         "Table 5: memory references for write detection (x1000)",
-        scale,
-        procs,
+        &args,
     );
-    let suite = run_suite(scale, procs);
+    let suite = run_suite(&args);
     let cost = CostModel::r3000_mach();
 
     let headers: Vec<String> = ["System", "Operation"]
@@ -103,4 +101,6 @@ fn main() {
     println!("\nPaper Table 5 totals (8 procs, paper inputs), for comparison:");
     println!("RT:   139 / 576 / 529 /   875 /  5,788");
     println!("VM: 1,278 / 521 / 512 / 2,656 / 13,439");
+
+    args.emit_tables("table5", &[("table", &t)]);
 }

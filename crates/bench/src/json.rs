@@ -1,0 +1,181 @@
+//! A minimal JSON value and writer, so every harness can emit
+//! machine-readable results without an external serialization crate.
+
+use std::io;
+use std::path::Path;
+
+use midway_stats::TextTable;
+
+/// A JSON value built by the harnesses.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (emitted without a decimal point).
+    U64(u64),
+    /// A float; non-finite values render as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// A [`TextTable`] as `{"headers": [...], "rows": [[...], ...]}` —
+    /// the uniform machine-readable form of what a harness prints.
+    pub fn table(t: &TextTable) -> Json {
+        Json::obj([
+            ("headers", Json::arr(t.headers().iter().map(Json::str))),
+            (
+                "rows",
+                Json::arr(t.data_rows().map(|r| Json::arr(r.iter().map(Json::str)))),
+            ),
+        ])
+    }
+
+    /// Renders with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => out.push_str(&n.to_string()),
+            Json::F64(x) if x.is_finite() => out.push_str(&format!("{x}")),
+            Json::F64(_) => out.push_str("null"),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    Json::Str(k.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes `json` to `path`, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating directories or writing the file.
+pub fn write_json(path: impl AsRef<Path>, json: &Json) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, json.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let j = Json::obj([
+            ("name", Json::str("fig3")),
+            ("points", Json::arr([Json::U64(122), Json::U64(1200)])),
+            ("ratio", Json::F64(2.5)),
+            ("ok", Json::Bool(true)),
+            ("missing", Json::Null),
+        ]);
+        let s = j.render();
+        assert!(s.contains("\"name\": \"fig3\""));
+        assert!(s.contains("\"points\": [\n    122,\n    1200\n  ]"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings_and_nan() {
+        let j = Json::arr([Json::str("a\"b\nc"), Json::F64(f64::NAN)]);
+        let s = j.render();
+        assert!(s.contains("\"a\\\"b\\nc\""));
+        assert!(s.contains("null"));
+    }
+
+    #[test]
+    fn tables_become_headers_and_rows() {
+        let mut t = TextTable::new(&["App", "RT"]);
+        t.row(&["water", "15.6"]);
+        t.separator();
+        t.row(&["sor", "8.2"]);
+        let s = Json::table(&t).render();
+        assert!(s.contains("\"headers\""));
+        assert!(s.matches('[').count() >= 3, "two rows plus headers: {s}");
+        assert!(!s.contains("[]"), "separators are skipped, not emitted");
+    }
+}

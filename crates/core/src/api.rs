@@ -1,12 +1,13 @@
 //! The application-facing per-processor API.
 
-use midway_mem::AddrRange;
+use midway_mem::{Addr, AddrRange};
 use midway_proto::{BarrierId, LockId, Mode};
 use midway_sim::{ProcHandle, VirtualTime};
 
 use crate::msg::DsmMsg;
 use crate::node::DsmNode;
 use crate::setup::{Scalar, SharedArray};
+use crate::trace::{push_op, TraceOp};
 
 /// One processor's view of the DSM: typed shared-memory access plus entry
 /// consistency synchronization.
@@ -15,12 +16,43 @@ use crate::setup::{Scalar, SharedArray};
 /// local memory latency... since there are no read misses"); writes run
 /// the configured write-trapping path. Synchronization calls are where
 /// consistency — and write collection — happens.
+///
+/// When the run was configured with [`record`](crate::MidwayConfig::record),
+/// every shared store, synchronization operation and compute charge is
+/// appended to this processor's trace; reads are local and free and are
+/// never recorded.
 pub struct Proc<'a> {
     pub(crate) node: DsmNode,
     pub(crate) h: &'a mut ProcHandle<DsmMsg>,
+    pub(crate) rec: Option<Vec<TraceOp>>,
 }
 
 impl Proc<'_> {
+    #[inline]
+    fn record_with(&mut self, op: impl FnOnce() -> TraceOp) {
+        if let Some(rec) = &mut self.rec {
+            push_op(rec, op());
+        }
+    }
+
+    /// Records one write trap of `len` bytes at `addr`, reading the bytes
+    /// it left in memory back out of the local store.
+    fn record_write(&mut self, addr: Addr, len: usize) {
+        if self.rec.is_none() {
+            return;
+        }
+        let data = self.node.store.bytes(addr, len).to_vec();
+        if let Some(rec) = &mut self.rec {
+            push_op(
+                rec,
+                TraceOp::Write {
+                    addr: addr.raw(),
+                    data,
+                },
+            );
+        }
+    }
+
     /// This processor's id.
     pub fn id(&self) -> usize {
         self.h.id()
@@ -39,6 +71,7 @@ impl Proc<'_> {
     /// Charges `cycles` of application compute time.
     pub fn work(&mut self, cycles: u64) {
         self.h.work(cycles);
+        self.record_with(|| TraceOp::Work { cycles });
     }
 
     /// Waits `cycles` of virtual time while the runtime keeps serving
@@ -46,6 +79,7 @@ impl Proc<'_> {
     /// off in polling loops, so other processors can make progress.
     pub fn idle(&mut self, cycles: u64) {
         self.node.idle(self.h, cycles);
+        self.record_with(|| TraceOp::Idle { cycles });
     }
 
     /// Reads element `i` of `a` from the local cache.
@@ -58,6 +92,7 @@ impl Proc<'_> {
         let addr = a.addr(i);
         self.node.trap_write(self.h, addr, T::SIZE);
         T::store_to(&mut self.node.store, addr, v);
+        self.record_write(addr, T::SIZE);
     }
 
     /// Writes a run of elements starting at `start` (an "area" store: one
@@ -69,10 +104,21 @@ impl Proc<'_> {
         }
         let addr = a.addr(start);
         assert!(start + values.len() <= a.len(), "slice write out of bounds");
-        self.node.trap_write(self.h, addr, values.len() * T::SIZE);
+        let len = values.len() * T::SIZE;
+        self.node.trap_write(self.h, addr, len);
         for (k, v) in values.iter().enumerate() {
             T::store_to(&mut self.node.store, a.addr(start + k), *v);
         }
+        self.record_write(addr, len);
+    }
+
+    /// Performs one write trap covering `data.len()` bytes at `addr` and
+    /// stores the bytes verbatim. This is the replay path for recorded
+    /// [`TraceOp::Write`] operations; applications use the typed writes.
+    pub fn write_raw(&mut self, addr: Addr, data: &[u8]) {
+        self.node.trap_write(self.h, addr, data.len());
+        self.node.store.write_bytes(addr, data);
+        self.record_write(addr, data.len());
     }
 
     /// Reads elements `range` into a vector.
@@ -87,31 +133,81 @@ impl Proc<'_> {
     /// Acquires `lock` exclusively (for writing).
     pub fn acquire(&mut self, lock: LockId) {
         self.node.acquire(self.h, lock, Mode::Exclusive);
+        self.record_with(|| TraceOp::Acquire {
+            lock: lock.0,
+            exclusive: true,
+        });
     }
 
     /// Acquires `lock` in non-exclusive mode (for reading).
     pub fn acquire_shared(&mut self, lock: LockId) {
         self.node.acquire(self.h, lock, Mode::Shared);
+        self.record_with(|| TraceOp::Acquire {
+            lock: lock.0,
+            exclusive: false,
+        });
     }
 
     /// Releases an exclusive hold of `lock`.
     pub fn release(&mut self, lock: LockId) {
         self.node.release(self.h, lock, Mode::Exclusive);
+        self.record_with(|| TraceOp::Release {
+            lock: lock.0,
+            exclusive: true,
+        });
     }
 
     /// Releases a non-exclusive hold of `lock`.
     pub fn release_shared(&mut self, lock: LockId) {
         self.node.release(self.h, lock, Mode::Shared);
+        self.record_with(|| TraceOp::Release {
+            lock: lock.0,
+            exclusive: false,
+        });
     }
 
     /// Rebinds `lock` to `ranges`; the caller must hold it exclusively.
     pub fn rebind(&mut self, lock: LockId, ranges: Vec<AddrRange>) {
+        self.record_with(|| TraceOp::Rebind {
+            lock: lock.0,
+            ranges: ranges.clone(),
+        });
         self.node.rebind(lock, ranges);
     }
 
     /// Crosses `barrier`, making its bound data consistent everywhere.
     pub fn barrier(&mut self, barrier: BarrierId) {
         self.node.barrier(self.h, barrier);
+        self.record_with(|| TraceOp::Barrier { barrier: barrier.0 });
+    }
+
+    /// Applies one recorded operation: the replay path. Replaying every
+    /// operation of a recorded stream (in order, on the processor that
+    /// recorded it) reproduces the original run without the application.
+    pub fn apply_op(&mut self, op: &TraceOp) {
+        match op {
+            TraceOp::Work { cycles } => self.work(*cycles),
+            TraceOp::Idle { cycles } => self.idle(*cycles),
+            TraceOp::Write { addr, data } => self.write_raw(Addr(*addr), data),
+            TraceOp::Acquire {
+                lock,
+                exclusive: true,
+            } => self.acquire(LockId(*lock)),
+            TraceOp::Acquire {
+                lock,
+                exclusive: false,
+            } => self.acquire_shared(LockId(*lock)),
+            TraceOp::Release {
+                lock,
+                exclusive: true,
+            } => self.release(LockId(*lock)),
+            TraceOp::Release {
+                lock,
+                exclusive: false,
+            } => self.release_shared(LockId(*lock)),
+            TraceOp::Rebind { lock, ranges } => self.rebind(LockId(*lock), ranges.clone()),
+            TraceOp::Barrier { barrier } => self.barrier(BarrierId(*barrier)),
+        }
     }
 
     /// The ranges this processor currently knows to be bound to `lock`

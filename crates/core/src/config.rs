@@ -35,7 +35,7 @@ impl BackendKind {
 }
 
 /// Full configuration of a Midway run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MidwayConfig {
     /// Number of processors (the paper's cluster has eight).
     pub procs: usize,
@@ -50,6 +50,11 @@ pub struct MidwayConfig {
     /// send when their concatenation exceeds the bound data size; a large
     /// cap makes that size rule — not pruning — the operative fallback.
     pub history_cap: usize,
+    /// Record each processor's shared-memory operation stream; the run's
+    /// [`MidwayRun::traces`](crate::MidwayRun::traces) and
+    /// [`MidwayRun::blueprint`](crate::MidwayRun::blueprint) are then
+    /// populated for the `midway-replay` crate to serialize and replay.
+    pub record: bool,
 }
 
 impl MidwayConfig {
@@ -61,6 +66,7 @@ impl MidwayConfig {
             cost: CostModel::r3000_mach(),
             net: NetModel::atm_cluster(),
             history_cap: 512,
+            record: false,
         }
     }
 
@@ -78,6 +84,12 @@ impl MidwayConfig {
     /// Replaces the network model.
     pub fn net(mut self, net: NetModel) -> MidwayConfig {
         self.net = net;
+        self
+    }
+
+    /// Turns trace recording on or off.
+    pub fn record(mut self, on: bool) -> MidwayConfig {
+        self.record = on;
         self
     }
 }

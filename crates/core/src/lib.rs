@@ -45,6 +45,7 @@ mod node;
 pub mod report;
 mod run;
 mod setup;
+pub mod trace;
 
 pub use api::Proc;
 pub use config::{BackendKind, MidwayConfig};
@@ -52,6 +53,7 @@ pub use counters::{AvgCounters, Counters};
 pub use msg::{DsmMsg, GrantPayload};
 pub use run::{Midway, MidwayRun};
 pub use setup::{Scalar, SharedArray, SystemBuilder, SystemSpec};
+pub use trace::{AllocSpec, BarrierSpec, SpecBlueprint, TraceOp};
 
 // Re-export the identifiers applications need.
 pub use midway_mem::AddrRange;

@@ -176,12 +176,17 @@ mod tests {
         }
     }
 
+    fn one_line_binding() -> Binding {
+        let range = 0x40_0000..0x40_0040;
+        Binding::new(vec![range])
+    }
+
     #[test]
     fn grant_sizes_count_data_and_headers() {
         let p = GrantPayload::Rt {
             set: set(64),
             consist_time: 9,
-            binding: Binding::new(vec![0x40_0000..0x40_0040]),
+            binding: one_line_binding(),
         };
         assert_eq!(p.data_bytes(), 64);
         assert!(p.wire_size() > 64);
@@ -211,7 +216,7 @@ mod tests {
             ],
             full: None,
             incarnation: 2,
-            binding: Binding::new(vec![0x40_0000..0x40_0040]),
+            binding: one_line_binding(),
         };
         assert_eq!(p.data_bytes(), 24);
     }

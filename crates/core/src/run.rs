@@ -10,6 +10,7 @@ use crate::counters::{AvgCounters, Counters};
 use crate::msg::DsmMsg;
 use crate::node::DsmNode;
 use crate::setup::SystemSpec;
+use crate::trace::{SpecBlueprint, TraceOp};
 
 /// The outcome of a Midway run.
 #[derive(Debug)]
@@ -26,6 +27,12 @@ pub struct MidwayRun<R> {
     pub messages: u64,
     /// The configuration that produced this run.
     pub cfg: MidwayConfig,
+    /// Per-processor recorded operation streams. Empty unless the run was
+    /// configured with [`MidwayConfig::record`].
+    pub traces: Vec<Vec<TraceOp>>,
+    /// The system blueprint, captured when recording (everything the
+    /// `midway-replay` crate needs to rebuild the run's `SystemSpec`).
+    pub blueprint: Option<SpecBlueprint>,
 }
 
 impl<R> MidwayRun<R> {
@@ -88,6 +95,7 @@ impl Midway {
             cfg.backend != BackendKind::None || cfg.procs == 1,
             "the standalone backend only supports one processor"
         );
+        let blueprint = cfg.record.then(|| SpecBlueprint::capture(spec));
         let spec = Arc::clone(spec);
         let cluster = ClusterConfig {
             procs: cfg.procs,
@@ -95,12 +103,25 @@ impl Midway {
         };
         let out = Cluster::run(cluster, move |h: &mut midway_sim::ProcHandle<DsmMsg>| {
             let node = DsmNode::new(h.id(), cfg, Arc::clone(&spec));
-            let mut proc = Proc { node, h };
+            let mut proc = Proc {
+                node,
+                h,
+                rec: cfg.record.then(Vec::new),
+            };
             let r = f(&mut proc);
             proc.node.finalize(proc.h);
-            (r, proc.node.counters)
+            (r, proc.node.counters, proc.rec.take())
         })?;
-        let (results, counters): (Vec<R>, Vec<Counters>) = out.results.into_iter().unzip();
+        let mut results = Vec::with_capacity(out.results.len());
+        let mut counters = Vec::with_capacity(out.results.len());
+        let mut traces = Vec::new();
+        for (r, c, t) in out.results {
+            results.push(r);
+            counters.push(c);
+            if let Some(t) = t {
+                traces.push(t);
+            }
+        }
         Ok(MidwayRun {
             results,
             counters,
@@ -108,6 +129,8 @@ impl Midway {
             finish_time: out.finish_time,
             messages: out.messages_delivered,
             cfg,
+            traces,
+            blueprint,
         })
     }
 }

@@ -127,6 +127,7 @@ impl PageDiff {
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // one-range restrictions are the point here
 mod tests {
     use super::*;
 

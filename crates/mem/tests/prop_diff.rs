@@ -1,74 +1,90 @@
-//! Property-based tests for the diff engine.
+//! Randomized tests for the diff engine, driven by the internal
+//! [`SplitMix64`] generator so the workspace tests offline. Every case
+//! derives from a fixed seed and is exactly reproducible.
 
 use midway_mem::diff::{PageDiff, WORD};
-use proptest::prelude::*;
+use midway_sim::SplitMix64;
 
-fn page_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
-    (1usize..=512).prop_flat_map(|len| {
-        (
-            proptest::collection::vec(any::<u8>(), len),
-            proptest::collection::vec(any::<u8>(), len),
-        )
-    })
+/// A random `(current, twin)` page pair of equal length in `1..=512`.
+/// Bytes are drawn from a small alphabet so equal words are common and
+/// the diffs contain a mix of runs and gaps.
+fn page_pair(rng: &mut SplitMix64) -> (Vec<u8>, Vec<u8>) {
+    let len = 1 + rng.next_below(512) as usize;
+    let page = |rng: &mut SplitMix64| (0..len).map(|_| rng.next_below(4) as u8).collect();
+    (page(rng), page(rng))
 }
 
-proptest! {
-    /// `apply(compute(cur, twin), twin) == cur` for arbitrary contents.
-    #[test]
-    fn compute_apply_round_trips((cur, twin) in page_pair()) {
+/// `apply(compute(cur, twin), twin) == cur` for arbitrary contents.
+#[test]
+fn compute_apply_round_trips() {
+    let mut rng = SplitMix64::new(0xd1ff_0001);
+    for case in 0..256 {
+        let (cur, twin) = page_pair(&mut rng);
         let diff = PageDiff::compute(&cur, &twin);
         let mut rebuilt = twin.clone();
         diff.apply(&mut rebuilt);
-        prop_assert_eq!(rebuilt, cur);
+        assert_eq!(rebuilt, cur, "case {case}");
     }
+}
 
-    /// Runs are maximal, ordered and word-aligned at the start.
-    #[test]
-    fn runs_are_canonical((cur, twin) in page_pair()) {
+/// Runs are maximal, ordered and word-aligned at the start.
+#[test]
+fn runs_are_canonical() {
+    let mut rng = SplitMix64::new(0xd1ff_0002);
+    for case in 0..256 {
+        let (cur, twin) = page_pair(&mut rng);
         let diff = PageDiff::compute(&cur, &twin);
         let mut prev_end = None;
         for run in &diff.runs {
-            prop_assert_eq!(run.offset % WORD, 0, "runs start on word boundaries");
-            prop_assert!(!run.data.is_empty());
+            assert_eq!(run.offset % WORD, 0, "runs start on word boundaries");
+            assert!(!run.data.is_empty(), "case {case}");
             if let Some(end) = prev_end {
-                prop_assert!(run.offset > end, "runs are ordered and non-adjacent");
+                assert!(run.offset > end, "runs are ordered and non-adjacent");
             }
             prev_end = Some(run.offset + run.data.len());
         }
     }
+}
 
-    /// A diff restricted to ranges covers exactly the intersection bytes,
-    /// and `covered_by` agrees with the restriction being lossless.
-    #[test]
-    fn restrict_is_an_intersection(
-        (cur, twin) in page_pair(),
-        cut in 0usize..512,
-    ) {
+/// A diff restricted to ranges covers exactly the intersection bytes,
+/// and `covered_by` agrees with the restriction being lossless.
+#[test]
+fn restrict_is_an_intersection() {
+    let mut rng = SplitMix64::new(0xd1ff_0003);
+    for case in 0..256 {
+        let (cur, twin) = page_pair(&mut rng);
+        let cut = rng.next_below(512) as usize;
         let len = cur.len();
-        let ranges = vec![0..cut.min(len)];
+        let prefix = 0..cut.min(len);
+        let ranges = vec![prefix];
         let diff = PageDiff::compute(&cur, &twin);
         let restricted = diff.restrict(&ranges);
         for run in &restricted.runs {
-            prop_assert!(run.offset + run.data.len() <= cut.min(len));
+            assert!(run.offset + run.data.len() <= cut.min(len), "case {case}");
         }
         let lossless = restricted.changed_bytes() == diff.changed_bytes();
-        prop_assert_eq!(diff.covered_by(&ranges), lossless);
+        assert_eq!(diff.covered_by(&ranges), lossless, "case {case}");
         // Applying the restricted diff to the twin makes the prefix match.
         let mut rebuilt = twin.clone();
         restricted.apply(&mut rebuilt);
         let boundary = cut.min(len);
         // Word granularity may pull in up to WORD-1 bytes past the cut.
         let safe = boundary.saturating_sub(boundary % WORD);
-        prop_assert_eq!(&rebuilt[..safe], &cur[..safe]);
+        assert_eq!(&rebuilt[..safe], &cur[..safe], "case {case}");
     }
+}
 
-    /// The wire size is data plus one header per run.
-    #[test]
-    fn wire_size_accounting((cur, twin) in page_pair()) {
+/// The wire size is data plus one header per run.
+#[test]
+fn wire_size_accounting() {
+    let mut rng = SplitMix64::new(0xd1ff_0004);
+    for case in 0..256 {
+        let (cur, twin) = page_pair(&mut rng);
         let diff = PageDiff::compute(&cur, &twin);
-        prop_assert_eq!(
+        assert_eq!(
             diff.wire_size(),
-            diff.changed_bytes() + diff.run_count() * midway_mem::diff::RUN_HEADER_BYTES
+            diff.changed_bytes() + diff.run_count() * midway_mem::diff::RUN_HEADER_BYTES,
+            "case {case}"
         );
     }
 }

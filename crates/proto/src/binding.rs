@@ -147,6 +147,7 @@ fn merge_spans(
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // one-range bindings are the point here
 mod tests {
     use super::*;
     use midway_mem::{LayoutBuilder, MemClass};

@@ -28,6 +28,7 @@ pub fn apply(store: &mut LocalStore, set: &UpdateSet) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // one-range bindings are the point here
 mod tests {
     use super::*;
     use midway_mem::{LayoutBuilder, MemClass};

@@ -158,6 +158,7 @@ pub fn mark_write(dirty: &mut DirtyMap, layout: &Layout, addr: Addr, len: usize)
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // one-range bindings are the point here
 mod tests {
     use super::*;
     use midway_mem::{LayoutBuilder, MemClass};

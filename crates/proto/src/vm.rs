@@ -231,6 +231,7 @@ impl LockHistory {
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // one-range bindings are the point here
 mod tests {
     use super::*;
     use midway_mem::{LayoutBuilder, MemClass, PAGE_SIZE};

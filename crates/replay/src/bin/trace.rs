@@ -1,0 +1,426 @@
+//! The `trace` command-line tool: record, inspect, replay and compare
+//! Midway traces.
+//!
+//! ```text
+//! trace record --app sor [--backend rt] [--scale small] [--procs 8] [--out FILE]
+//! trace replay FILE [--backend rt|vm|blast|twinall] [--fault-us N] [--check]
+//! trace info FILE
+//! trace diff A B
+//! trace sweep FILE [--points N] [--live]
+//! ```
+//!
+//! `sweep` runs the Figure 3/4 page-fault-cost sweep from one trace,
+//! and with `--live` also re-executes the application at every sweep
+//! point to measure the wall-clock advantage of replaying.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use midway_apps::{run_app, AppKind, Scale};
+use midway_core::{report, BackendKind, Counters, MidwayConfig, MidwayRun};
+use midway_replay::{record_app, replay, verify_replay, Trace};
+use midway_stats::{FaultSweep, TextTable};
+
+const USAGE: &str = "usage:
+  trace record --app <water|quicksort|matrix|sor|cholesky|all>
+               [--backend rt|vm|blast|twinall|none] [--scale paper|medium|small]
+               [--procs N] [--out FILE]
+  trace replay <FILE> [--backend rt|vm|blast|twinall] [--fault-us N] [--check]
+  trace info   <FILE>
+  trace diff   <A> <B>
+  trace sweep  <FILE> [--points N] [--live]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn value(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{name} needs a value")),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    // Skip flags and their values; every flag of this tool except the
+    // bare ones takes a value.
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--check" || args[i] == "--live" {
+            i += 1;
+        } else if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            out.push(&args[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn parse_app(s: &str) -> Result<AppKind, String> {
+    AppKind::all()
+        .into_iter()
+        .find(|k| k.label() == s)
+        .ok_or_else(|| format!("unknown app {s:?} (use water|quicksort|matrix|sor|cholesky)"))
+}
+
+fn parse_backend(s: &str) -> Result<BackendKind, String> {
+    match s {
+        "rt" => Ok(BackendKind::Rt),
+        "vm" => Ok(BackendKind::Vm),
+        "blast" => Ok(BackendKind::Blast),
+        "twinall" => Ok(BackendKind::TwinAll),
+        "none" => Ok(BackendKind::None),
+        _ => Err(format!(
+            "unknown backend {s:?} (use rt|vm|blast|twinall|none)"
+        )),
+    }
+}
+
+fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s {
+        "paper" => Ok(Scale::Paper),
+        "medium" => Ok(Scale::Medium),
+        "small" => Ok(Scale::Small),
+        _ => Err(format!("unknown scale {s:?} (use paper|medium|small)")),
+    }
+}
+
+fn backend_tag(b: BackendKind) -> &'static str {
+    match b {
+        BackendKind::Rt => "rt",
+        BackendKind::Vm => "vm",
+        BackendKind::Blast => "blast",
+        BackendKind::TwinAll => "twinall",
+        BackendKind::None => "none",
+    }
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    Trace::load(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn summarize(run: &MidwayRun<()>, cfg: &MidwayConfig) {
+    let avg = Counters::average(&run.counters);
+    println!("backend:      {}", cfg.backend.label());
+    println!("exec time:    {:.3} s (simulated)", run.exec_secs());
+    println!("messages:     {}", run.messages);
+    println!("data moved:   {:.2} MB cluster-wide", run.data_mb_total());
+    println!(
+        "trapping:     {:.1} ms/proc, collection {:.1} ms/proc",
+        report::trapping_millis(cfg.backend, &avg, &cfg.cost),
+        report::collection_millis(cfg.backend, &avg, &cfg.cost).total()
+    );
+}
+
+fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
+    let apps = match value(args, "--app")?.as_deref() {
+        Some("all") => AppKind::all().to_vec(),
+        Some(s) => vec![parse_app(s)?],
+        None => return Err("record needs --app (or --app all)".to_string()),
+    };
+    let backend = value(args, "--backend")?
+        .as_deref()
+        .map(parse_backend)
+        .transpose()?
+        .unwrap_or(BackendKind::Rt);
+    let scale = value(args, "--scale")?
+        .as_deref()
+        .map(parse_scale)
+        .transpose()?
+        .unwrap_or(Scale::Small);
+    let procs: usize = value(args, "--procs")?
+        .map(|s| s.parse().map_err(|_| "--procs takes a number".to_string()))
+        .transpose()?
+        .unwrap_or(8);
+    let out = value(args, "--out")?;
+    if out.is_some() && apps.len() > 1 {
+        return Err("--out only makes sense with a single --app".to_string());
+    }
+    for app in apps {
+        let cfg = MidwayConfig::new(procs, backend);
+        let t0 = Instant::now();
+        let (outcome, trace) = record_app(app, cfg, scale);
+        if !outcome.verified {
+            return Err(format!("{} failed verification; not saving", app.label()));
+        }
+        let path = out.clone().map(PathBuf::from).unwrap_or_else(|| {
+            PathBuf::from(format!(
+                "results/traces/{}-{}-{}p-{}.mwt",
+                app.label(),
+                scale.label(),
+                procs,
+                backend_tag(backend)
+            ))
+        });
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+        trace
+            .save(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        println!(
+            "{}: {} ops, {} written bytes, recorded in {:.1}s -> {}",
+            app.label(),
+            trace.total_ops(),
+            trace.written_bytes(),
+            t0.elapsed().as_secs_f64(),
+            path.display()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [path] = pos.as_slice() else {
+        return Err("replay takes exactly one trace file".to_string());
+    };
+    let trace = load(path)?;
+    let mut cfg = trace.recorded_cfg();
+    let mut exact = true;
+    if let Some(b) = value(args, "--backend")? {
+        cfg.backend = parse_backend(&b)?;
+        exact = cfg.backend == trace.meta.cfg.backend;
+    }
+    if let Some(us) = value(args, "--fault-us")? {
+        let us: f64 = us
+            .parse()
+            .map_err(|_| "--fault-us takes a number".to_string())?;
+        cfg.cost = cfg.cost.with_fault_micros(us);
+        exact = false;
+    }
+    let t0 = Instant::now();
+    let run = if exact {
+        // Identical configuration: always run the equivalence oracle.
+        verify_replay(&trace).map_err(|d| format!("replay diverged from recording: {d}"))?
+    } else {
+        if flag(args, "--check") {
+            return Err("--check requires the recorded configuration (no overrides)".to_string());
+        }
+        replay(&trace, cfg).map_err(|e| format!("replay failed: {e}"))?
+    };
+    let host = t0.elapsed().as_secs_f64();
+    summarize(&run, &cfg);
+    println!("replayed in:  {host:.2} s host time");
+    if exact {
+        println!("equivalence:  bit-for-bit identical to the recorded run");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [path] = pos.as_slice() else {
+        return Err("info takes exactly one trace file".to_string());
+    };
+    let trace = load(path)?;
+    let m = &trace.meta;
+    println!("app:          {} ({} scale)", m.app, m.scale);
+    println!(
+        "recorded on:  {} procs, {} backend, verified: {}",
+        m.cfg.procs,
+        m.cfg.backend.label(),
+        m.verified
+    );
+    println!(
+        "finish time:  {} cycles ({:.3} s simulated)",
+        m.finish_cycles,
+        m.cfg.cost.cycles_to_millis(m.finish_cycles) / 1000.0
+    );
+    println!("messages:     {}", m.messages);
+    let [work, idle, write, acquire, release, rebind, barrier] = trace.op_histogram();
+    println!(
+        "ops:          {} total (work {work}, idle {idle}, write {write}, acquire {acquire}, \
+         release {release}, rebind {rebind}, barrier {barrier})",
+        trace.total_ops()
+    );
+    println!("bytes traced: {} written", trace.written_bytes());
+    println!("allocations:  {}", trace.blueprint.allocs.len());
+    println!(
+        "sync objects: {} locks, {} barriers",
+        trace.blueprint.locks.len(),
+        trace.blueprint.barriers.len()
+    );
+    let mut t = TextTable::new(&["proc", "ops", "written bytes"]);
+    for (p, ops) in trace.ops.iter().enumerate() {
+        let bytes: u64 = ops
+            .iter()
+            .map(|op| match op {
+                midway_core::TraceOp::Write { data, .. } => data.len() as u64,
+                _ => 0,
+            })
+            .sum();
+        t.row(&[p.to_string(), ops.len().to_string(), bytes.to_string()]);
+    }
+    println!("\n{t}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [a_path, b_path] = pos.as_slice() else {
+        return Err("diff takes exactly two trace files".to_string());
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+    if a == b {
+        println!("traces are identical");
+        return Ok(ExitCode::SUCCESS);
+    }
+    if a.meta != b.meta {
+        let (ma, mb) = (&a.meta, &b.meta);
+        for (what, va, vb) in [
+            ("app", ma.app.clone(), mb.app.clone()),
+            ("scale", ma.scale.clone(), mb.scale.clone()),
+            ("procs", ma.cfg.procs.to_string(), mb.cfg.procs.to_string()),
+            (
+                "backend",
+                ma.cfg.backend.label().to_string(),
+                mb.cfg.backend.label().to_string(),
+            ),
+            (
+                "finish cycles",
+                ma.finish_cycles.to_string(),
+                mb.finish_cycles.to_string(),
+            ),
+            ("messages", ma.messages.to_string(), mb.messages.to_string()),
+        ] {
+            if va != vb {
+                println!("meta.{what}: {va} != {vb}");
+            }
+        }
+        if ma.counters != mb.counters {
+            for (p, (ca, cb)) in ma.counters.iter().zip(&mb.counters).enumerate() {
+                if ca != cb {
+                    println!("meta.counters[{p}] differ: {ca:?} != {cb:?}");
+                    break;
+                }
+            }
+        }
+    }
+    if a.blueprint != b.blueprint {
+        println!("blueprints differ");
+    }
+    if a.ops.len() != b.ops.len() {
+        println!("proc counts differ: {} != {}", a.ops.len(), b.ops.len());
+    } else {
+        for (p, (oa, ob)) in a.ops.iter().zip(&b.ops).enumerate() {
+            if oa == ob {
+                continue;
+            }
+            let i = oa.iter().zip(ob).take_while(|(x, y)| x == y).count();
+            println!(
+                "proc {p}: first divergence at op {i}/{} vs {}:",
+                oa.len(),
+                ob.len()
+            );
+            println!("  a: {:?}", oa.get(i));
+            println!("  b: {:?}", ob.get(i));
+        }
+    }
+    Ok(ExitCode::FAILURE)
+}
+
+fn cmd_sweep(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [path] = pos.as_slice() else {
+        return Err("sweep takes exactly one trace file".to_string());
+    };
+    let trace = load(path)?;
+    let points: usize = value(args, "--points")?
+        .map(|s| s.parse().map_err(|_| "--points takes a number".to_string()))
+        .transpose()?
+        .unwrap_or(7);
+    let backend = value(args, "--backend")?
+        .as_deref()
+        .map(parse_backend)
+        .transpose()?
+        .unwrap_or(trace.meta.cfg.backend);
+    let models = FaultSweep::paper(points).models(trace.recorded_cfg().cost);
+    println!(
+        "== page-fault-cost sweep from {} ({} on {}) ==\n",
+        path,
+        trace.meta.app,
+        backend.label()
+    );
+
+    // Invocation counts do not depend on the fault cost (the premise of
+    // the paper's Figures 3 and 4), so the whole sweep derives from ONE
+    // replay under the target backend: each point reprices that replay's
+    // counters under its cost model.
+    let t0 = Instant::now();
+    let run = if backend == trace.meta.cfg.backend {
+        verify_replay(&trace).map_err(|d| format!("replay diverged from recording: {d}"))?
+    } else {
+        let mut cfg = trace.recorded_cfg();
+        cfg.backend = backend;
+        replay(&trace, cfg).map_err(|e| format!("replay failed: {e}"))?
+    };
+    let replay_secs = t0.elapsed().as_secs_f64();
+    let avg = Counters::average(&run.counters);
+
+    let mut t = TextTable::new(&["fault (us)", "trap (ms)", "collect (ms)", "total (ms)"]);
+    for m in &models {
+        let trap = report::trapping_millis(backend, &avg, m);
+        let collect = report::collection_millis(backend, &avg, m).total();
+        t.row(&[
+            format!("{:.0}", m.fault_micros()),
+            format!("{trap:.1}"),
+            format!("{collect:.1}"),
+            format!("{:.1}", trap + collect),
+        ]);
+    }
+    println!("{t}");
+    println!("{points} sweep points derived from one replay in {replay_secs:.2} s host time");
+
+    if flag(args, "--live") {
+        let app = parse_app(&trace.meta.app).map_err(|_| {
+            format!(
+                "--live: trace app {:?} is not a named application",
+                trace.meta.app
+            )
+        })?;
+        let scale = parse_scale(&trace.meta.scale)?;
+        let t1 = Instant::now();
+        for m in &models {
+            let mut cfg = trace.recorded_cfg().cost(*m);
+            cfg.backend = backend;
+            let out = run_app(app, cfg, scale);
+            assert!(out.verified, "live run failed verification");
+        }
+        let live_secs = t1.elapsed().as_secs_f64();
+        println!(
+            "re-executing the application at each of the {points} points took \
+             {live_secs:.2} s host time ({:.1}x slower than the trace-driven sweep)",
+            live_secs / replay_secs.max(1e-9)
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,298 @@
+//! Trace capture & replay for the Midway DSM reproduction.
+//!
+//! Under entry consistency, every number the paper reports — Table 2's
+//! primitive-operation counters, the execution times, the data volumes —
+//! is a pure function of each processor's *shared-memory operation
+//! stream*: its shared stores (with values), synchronization operations
+//! and compute-cycle charges. This crate captures that stream once, to a
+//! versioned, checksummed, varint-encoded binary file, and replays it
+//! through the full protocol machinery without re-running the
+//! application:
+//!
+//! * same backend, same parameters → the replay is **bit-for-bit
+//!   identical** to the original run ([`verify_replay`] asserts this;
+//!   it operationalizes the determinism argument in DESIGN.md), and
+//! * any other backend (Rt, Vm, Blast, TwinAll), cache-line size,
+//!   page-fault cost or network model → a cheap trace-driven evaluation
+//!   of that design point, skipping the application's host-side compute.
+//!
+//! Record once, sweep many: the `fig3`, `fig4`, `ablation_linesize` and
+//! `ablation_protocols` harnesses drive all their sweep points from one
+//! captured trace per application. The `trace` binary exposes the same
+//! machinery on the command line (`record` / `replay` / `info` / `diff`).
+
+use std::path::Path;
+use std::sync::Arc;
+
+use midway_apps::{run_app, AppKind, AppOutcome, Scale};
+use midway_core::{
+    Counters, Midway, MidwayConfig, MidwayRun, Proc, SimError, SpecBlueprint, SystemSpec, TraceOp,
+};
+
+mod format;
+
+pub use format::{decode, encode, TraceError, MAGIC, VERSION};
+
+/// Everything known about the recorded run, stored in the trace header.
+///
+/// The configuration makes the file self-contained (a replay needs the
+/// cost and network models), and the recorded counters and times are the
+/// baseline the equivalence oracle checks same-configuration replays
+/// against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceMeta {
+    /// Application label (e.g. `sor`), free-form for non-app traces.
+    pub app: String,
+    /// Workload scale label (e.g. `small`).
+    pub scale: String,
+    /// Whether the recorded run verified its own output.
+    pub verified: bool,
+    /// The full configuration of the recorded run (`record` forced off).
+    pub cfg: MidwayConfig,
+    /// The recorded run's finish time, in cycles.
+    pub finish_cycles: u64,
+    /// Messages delivered cluster-wide in the recorded run.
+    pub messages: u64,
+    /// Per-processor Table 2 counters of the recorded run.
+    pub counters: Vec<Counters>,
+}
+
+/// A captured run: header, system blueprint and per-processor operation
+/// streams.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Header: identity, configuration and recorded baseline.
+    pub meta: TraceMeta,
+    /// Everything needed to rebuild the run's [`SystemSpec`].
+    pub blueprint: SpecBlueprint,
+    /// Recorded operation streams, indexed by processor id.
+    pub ops: Vec<Vec<TraceOp>>,
+}
+
+impl Trace {
+    /// Packages a recorded run (one run with [`MidwayConfig::record`] on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not recorded.
+    pub fn from_run<R>(app: &str, scale: &str, verified: bool, run: &MidwayRun<R>) -> Trace {
+        assert_eq!(
+            run.traces.len(),
+            run.cfg.procs,
+            "run was not recorded: configure with MidwayConfig::record(true)"
+        );
+        Trace {
+            meta: TraceMeta {
+                app: app.to_string(),
+                scale: scale.to_string(),
+                verified,
+                cfg: run.cfg.record(false),
+                finish_cycles: run.finish_time.cycles(),
+                messages: run.messages,
+                counters: run.counters.clone(),
+            },
+            blueprint: run.blueprint.clone().expect("recorded run has a blueprint"),
+            ops: run.traces.clone(),
+        }
+    }
+
+    /// Packages a recorded application outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome was not recorded.
+    pub fn from_outcome(outcome: &AppOutcome, scale: Scale) -> Trace {
+        assert_eq!(
+            outcome.traces.len(),
+            outcome.cfg.procs,
+            "outcome was not recorded: configure with MidwayConfig::record(true)"
+        );
+        Trace {
+            meta: TraceMeta {
+                app: outcome.kind.label().to_string(),
+                scale: scale.label().to_string(),
+                verified: outcome.verified,
+                cfg: outcome.cfg.record(false),
+                finish_cycles: outcome.finish_time.cycles(),
+                messages: outcome.messages,
+                counters: outcome.counters.clone(),
+            },
+            blueprint: outcome
+                .blueprint
+                .clone()
+                .expect("recorded outcome has a blueprint"),
+            ops: outcome.traces.clone(),
+        }
+    }
+
+    /// Serializes to the `MWTR` byte format.
+    pub fn encode(&self) -> Vec<u8> {
+        format::encode(self)
+    }
+
+    /// Parses the `MWTR` byte format, verifying magic, version and
+    /// checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] describing the first defect found.
+    pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
+        format::decode(bytes)
+    }
+
+    /// Writes the encoded trace to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.encode())
+    }
+
+    /// Reads and decodes a trace file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the file cannot be read or parsed.
+    pub fn load(path: impl AsRef<Path>) -> Result<Trace, TraceError> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| TraceError::Io(e.to_string()))?;
+        Trace::decode(&bytes)
+    }
+
+    /// Total recorded operations across all processors.
+    pub fn total_ops(&self) -> usize {
+        self.ops.iter().map(Vec::len).sum()
+    }
+
+    /// Per-op-kind totals `[work, idle, write, acquire, release, rebind,
+    /// barrier]` across all processors.
+    pub fn op_histogram(&self) -> [u64; 7] {
+        let mut h = [0u64; 7];
+        for op in self.ops.iter().flatten() {
+            let slot = match op {
+                TraceOp::Work { .. } => 0,
+                TraceOp::Idle { .. } => 1,
+                TraceOp::Write { .. } => 2,
+                TraceOp::Acquire { .. } => 3,
+                TraceOp::Release { .. } => 4,
+                TraceOp::Rebind { .. } => 5,
+                TraceOp::Barrier { .. } => 6,
+            };
+            h[slot] += 1;
+        }
+        h
+    }
+
+    /// Total bytes covered by recorded write traps.
+    pub fn written_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .flatten()
+            .map(|op| match op {
+                TraceOp::Write { data, .. } => data.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The recorded configuration, as a base for replay overrides.
+    pub fn recorded_cfg(&self) -> MidwayConfig {
+        self.meta.cfg
+    }
+}
+
+/// Records one application run and packages it as a trace.
+///
+/// # Panics
+///
+/// Panics if the simulation itself fails; verification failures are
+/// reported in the outcome/meta instead.
+pub fn record_app(kind: AppKind, cfg: MidwayConfig, scale: Scale) -> (AppOutcome, Trace) {
+    let outcome = run_app(kind, cfg.record(true), scale);
+    let trace = Trace::from_outcome(&outcome, scale);
+    (outcome, trace)
+}
+
+/// Replays `trace` under `cfg`, rebuilding the system from the stored
+/// blueprint. The application never runs: each processor just applies its
+/// recorded operation stream, so a replay costs only the simulation.
+///
+/// With the recorded configuration this reproduces the original run bit
+/// for bit; with a different backend, cost, or network model it evaluates
+/// that design point against the recorded stream.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the simulation deadlocks or panics.
+///
+/// # Panics
+///
+/// Panics if `cfg.procs` differs from the number of recorded streams.
+pub fn replay(trace: &Trace, cfg: MidwayConfig) -> Result<MidwayRun<()>, SimError> {
+    replay_on(trace, cfg, &trace.blueprint.build())
+}
+
+/// Like [`replay`], but against a caller-built system description (e.g.
+/// a blueprint with an overridden cache-line size).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the simulation deadlocks or panics.
+///
+/// # Panics
+///
+/// Panics if `cfg.procs` differs from the number of recorded streams.
+pub fn replay_on(
+    trace: &Trace,
+    cfg: MidwayConfig,
+    spec: &Arc<SystemSpec>,
+) -> Result<MidwayRun<()>, SimError> {
+    assert_eq!(
+        cfg.procs,
+        trace.ops.len(),
+        "trace was recorded on {} processors",
+        trace.ops.len()
+    );
+    let ops = &trace.ops;
+    Midway::run(cfg, spec, |p: &mut Proc| {
+        for op in &ops[p.id()] {
+            p.apply_op(op);
+        }
+    })
+}
+
+/// The equivalence oracle: replays `trace` under its recorded
+/// configuration and asserts the replay is bit-for-bit identical to the
+/// recorded run — every per-processor Table 2 counter, the finish time
+/// and the message count.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence (or the simulation
+/// error), which indicates either a corrupted trace or nondeterminism in
+/// the simulator itself.
+pub fn verify_replay(trace: &Trace) -> Result<MidwayRun<()>, String> {
+    let run = replay(trace, trace.recorded_cfg()).map_err(|e| format!("replay failed: {e}"))?;
+    let m = &trace.meta;
+    if run.finish_time.cycles() != m.finish_cycles {
+        return Err(format!(
+            "finish time diverged: recorded {} cycles, replayed {}",
+            m.finish_cycles,
+            run.finish_time.cycles()
+        ));
+    }
+    if run.messages != m.messages {
+        return Err(format!(
+            "message count diverged: recorded {}, replayed {}",
+            m.messages, run.messages
+        ));
+    }
+    for (p, (rec, got)) in m.counters.iter().zip(&run.counters).enumerate() {
+        if rec != got {
+            return Err(format!(
+                "counters diverged on processor {p}: recorded {rec:?}, replayed {got:?}"
+            ));
+        }
+    }
+    Ok(run)
+}

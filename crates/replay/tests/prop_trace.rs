@@ -1,0 +1,218 @@
+//! Round-trip property tests for the binary trace format, driven by the
+//! internal [`SplitMix64`] generator (std-only; the workspace builds
+//! offline). Every case derives from a fixed seed and is exactly
+//! reproducible.
+
+use midway_core::{
+    AllocSpec, BackendKind, BarrierSpec, Counters, MidwayConfig, SpecBlueprint, TraceOp,
+};
+use midway_replay::{Trace, TraceError, TraceMeta};
+use midway_sim::SplitMix64;
+
+fn random_ranges(rng: &mut SplitMix64) -> Vec<std::ops::Range<u64>> {
+    let n = rng.next_below(4);
+    (0..n)
+        .map(|_| {
+            let start = rng.next_below(1 << 23);
+            start..start + 1 + rng.next_below(4096)
+        })
+        .collect()
+}
+
+fn random_op(rng: &mut SplitMix64) -> TraceOp {
+    match rng.next_below(7) {
+        0 => TraceOp::Work {
+            cycles: rng.next_u64() >> rng.next_below(64),
+        },
+        1 => TraceOp::Idle {
+            cycles: rng.next_below(1 << 20),
+        },
+        2 => {
+            let len = 1 + rng.next_below(64) as usize;
+            TraceOp::Write {
+                addr: rng.next_below(1 << 23),
+                data: (0..len).map(|_| rng.next_below(256) as u8).collect(),
+            }
+        }
+        3 => TraceOp::Acquire {
+            lock: rng.next_below(8) as u32,
+            exclusive: rng.next_below(2) == 1,
+        },
+        4 => TraceOp::Release {
+            lock: rng.next_below(8) as u32,
+            exclusive: rng.next_below(2) == 1,
+        },
+        5 => TraceOp::Rebind {
+            lock: rng.next_below(8) as u32,
+            ranges: random_ranges(rng),
+        },
+        _ => TraceOp::Barrier {
+            barrier: rng.next_below(4) as u32,
+        },
+    }
+}
+
+fn random_counters(rng: &mut SplitMix64) -> Counters {
+    Counters {
+        dirtybits_set: rng.next_u64() >> 32,
+        dirtybits_misclassified: rng.next_below(1000),
+        clean_dirtybits_read: rng.next_below(1000),
+        dirty_dirtybits_read: rng.next_below(1000),
+        dirtybits_updated: rng.next_below(1000),
+        write_faults: rng.next_below(1000),
+        pages_diffed: rng.next_below(1000),
+        pages_write_protected: rng.next_below(1000),
+        twin_bytes_updated: rng.next_below(1 << 30),
+        data_bytes_sent: rng.next_u64() >> 16,
+        data_bytes_received: rng.next_u64() >> 16,
+        redundant_bytes_received: rng.next_below(1 << 30),
+        lock_acquires: rng.next_below(1000),
+        lock_transfers_served: rng.next_below(1000),
+        full_data_sends: rng.next_below(1000),
+        barrier_waits: rng.next_below(1000),
+    }
+}
+
+/// A structurally random trace (metadata, blueprint and op streams drawn
+/// at random; it need not describe a *runnable* system — the format must
+/// round-trip it regardless).
+fn random_trace(rng: &mut SplitMix64) -> Trace {
+    let procs = 1 + rng.next_below(6) as usize;
+    let backend = [
+        BackendKind::Rt,
+        BackendKind::Vm,
+        BackendKind::Blast,
+        BackendKind::TwinAll,
+        BackendKind::None,
+    ][rng.next_below(5) as usize];
+    let mut cfg = MidwayConfig::new(procs, backend);
+    cfg.history_cap = rng.next_below(4096) as usize;
+    cfg.cost.page_write_fault = rng.next_below(1 << 20);
+    cfg.cost.dirtybit_read_clean_us = rng.next_f64() * 100.0;
+    cfg.net = cfg.net.scaled(1 + rng.next_below(8), 1 + rng.next_below(8));
+    let allocs = (0..rng.next_below(5))
+        .map(|i| AllocSpec {
+            name: format!("a{i}"),
+            addr: (i + 1) << 22,
+            len: 1 + rng.next_below(1 << 16) as usize,
+            private: rng.next_below(2) == 1,
+            line_shift: 2 + rng.next_below(11) as u32,
+        })
+        .collect();
+    let locks = (0..rng.next_below(4)).map(|_| random_ranges(rng)).collect();
+    let barriers = (0..rng.next_below(3))
+        .map(|_| BarrierSpec {
+            ranges: random_ranges(rng),
+            partitions: if rng.next_below(2) == 1 {
+                Some((0..procs).map(|_| random_ranges(rng)).collect())
+            } else {
+                None
+            },
+        })
+        .collect();
+    let ops = (0..procs)
+        .map(|_| {
+            let n = rng.next_below(40) as usize;
+            (0..n).map(|_| random_op(rng)).collect()
+        })
+        .collect();
+    Trace {
+        meta: TraceMeta {
+            app: format!("app{}", rng.next_below(100)),
+            scale: "small".to_string(),
+            verified: rng.next_below(2) == 1,
+            cfg,
+            finish_cycles: rng.next_u64() >> rng.next_below(32),
+            messages: rng.next_below(1 << 24),
+            counters: (0..procs).map(|_| random_counters(rng)).collect(),
+        },
+        blueprint: SpecBlueprint {
+            allocs,
+            locks,
+            barriers,
+        },
+        ops,
+    }
+}
+
+/// decode(encode(t)) == t for arbitrary traces.
+#[test]
+fn encode_decode_round_trips() {
+    let mut rng = SplitMix64::new(0x7ace_0001);
+    for case in 0..128 {
+        let trace = random_trace(&mut rng);
+        let bytes = trace.encode();
+        let back = Trace::decode(&bytes).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(back, trace, "case {case}");
+    }
+}
+
+/// Any truncation of a valid file is rejected, never misread.
+#[test]
+fn truncation_is_rejected() {
+    let mut rng = SplitMix64::new(0x7ace_0002);
+    for _ in 0..16 {
+        let trace = random_trace(&mut rng);
+        let bytes = trace.encode();
+        // Every prefix length, for small files; sampled, for larger ones.
+        let step = (bytes.len() / 64).max(1);
+        for cut in (0..bytes.len()).step_by(step) {
+            assert!(
+                Trace::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut}/{} bytes was accepted",
+                bytes.len()
+            );
+        }
+    }
+}
+
+/// Any single corrupted byte is rejected by the checksum (FNV-1a steps
+/// are injective in the running hash, so one flipped byte always changes
+/// the final sum), and a corrupted footer is rejected too.
+#[test]
+fn corruption_is_rejected() {
+    let mut rng = SplitMix64::new(0x7ace_0003);
+    for _ in 0..16 {
+        let trace = random_trace(&mut rng);
+        let bytes = trace.encode();
+        for _ in 0..32 {
+            let mut bad = bytes.clone();
+            let i = rng.next_below(bad.len() as u64) as usize;
+            let flip = 1u8 << rng.next_below(8);
+            bad[i] ^= flip;
+            let expect = if i < 4 {
+                // Magic bytes are checked before the checksum.
+                TraceError::BadMagic
+            } else {
+                TraceError::BadChecksum
+            };
+            match Trace::decode(&bad) {
+                Err(e) => assert_eq!(e, expect, "flipped byte {i}"),
+                Ok(t) => panic!("corrupt file decoded successfully: byte {i}, {t:?}"),
+            }
+        }
+    }
+}
+
+/// Unknown versions are rejected (preserving the checksum so the version
+/// check itself is what fires).
+#[test]
+fn future_versions_are_rejected() {
+    let mut rng = SplitMix64::new(0x7ace_0004);
+    let trace = random_trace(&mut rng);
+    let mut bytes = trace.encode();
+    assert_eq!(bytes[4], 1, "version varint directly follows the magic");
+    bytes[4] = 99;
+    let payload_len = bytes.len() - 8;
+    let sum = {
+        // Recompute FNV-1a 64 over the tampered payload.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &bytes[..payload_len] {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    };
+    bytes[payload_len..].copy_from_slice(&sum.to_le_bytes());
+    assert_eq!(Trace::decode(&bytes), Err(TraceError::BadVersion(99)));
+}

@@ -1,9 +1,7 @@
 //! Public cluster API: configuration, processor handles, run outcomes.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::clock::{Category, CpuClock, CATEGORY_COUNT};
 use crate::event::Event;
@@ -326,8 +324,8 @@ impl Cluster {
                     let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut handle)));
                     match outcome {
                         Ok(val) => {
-                            reports.lock()[id] = Some(handle.report());
-                            results.lock()[id] = Some(val);
+                            lock_vec(reports)[id] = Some(handle.report());
+                            lock_vec(results)[id] = Some(val);
                             sched.finish(id);
                         }
                         Err(payload) => {
@@ -345,16 +343,14 @@ impl Cluster {
             }
         });
 
-        if let Some(poison) = sched.inner.lock().poison.clone() {
+        if let Some(poison) = sched.poison() {
             return Err(poison.into());
         }
-        let results: Vec<R> = results
-            .into_inner()
+        let results: Vec<R> = into_vec(results)
             .into_iter()
             .map(|r| r.expect("every processor finished"))
             .collect();
-        let reports: Vec<ProcReport> = reports
-            .into_inner()
+        let reports: Vec<ProcReport> = into_vec(reports)
             .into_iter()
             .map(|r| r.expect("every processor reported"))
             .collect();
@@ -370,6 +366,16 @@ impl Cluster {
             messages_delivered: sched.delivered(),
         })
     }
+}
+
+/// Locks a result-collection mutex. These are only held for a single slot
+/// assignment, never across a panic, so a poisoned guard is recovered.
+fn lock_vec<T>(m: &Mutex<Vec<Option<T>>>) -> std::sync::MutexGuard<'_, Vec<Option<T>>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn into_vec<T>(m: Mutex<Vec<Option<T>>>) -> Vec<Option<T>> {
+    m.into_inner().unwrap_or_else(PoisonError::into_inner)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

@@ -9,8 +9,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::event::Event;
 use crate::time::VirtualTime;
@@ -67,6 +66,20 @@ pub(crate) struct Scheduler<M> {
 }
 
 impl<M> Scheduler<M> {
+    /// Locks the shared state. An application panic unwinds through
+    /// `catch_unwind` without holding this mutex (the guard is released
+    /// before the closure runs), so std's poison flag carries no
+    /// information here — application failures are reported through
+    /// [`Poison`] instead, and a poisoned guard is simply recovered.
+    fn lock(&self) -> MutexGuard<'_, SchedInner<M>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Snapshot of the abort condition, if any (for the driver thread).
+    pub fn poison(&self) -> Option<Poison> {
+        self.lock().poison.clone()
+    }
+
     pub fn new(procs: usize) -> Scheduler<M> {
         Scheduler {
             inner: Mutex::new(SchedInner {
@@ -84,7 +97,7 @@ impl<M> Scheduler<M> {
     /// Queues an in-flight message. Called only by a `Running` thread, so no
     /// dispatch can be due yet.
     pub fn post(&self, ev: Event<M>) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         inner.queue.push(Reverse(ev));
     }
 
@@ -95,7 +108,7 @@ impl<M> Scheduler<M> {
         me: usize,
         draining: bool,
     ) -> Result<Option<(VirtualTime, usize, M)>, Poison> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         debug_assert_eq!(inner.procs[me], ProcState::Running);
         inner.running -= 1;
         inner.procs[me] = if draining {
@@ -119,7 +132,9 @@ impl<M> Scheduler<M> {
                     debug_assert!(draining);
                     return Ok(None);
                 }
-                Slot::Empty => self.cv.wait(&mut inner),
+                Slot::Empty => {
+                    inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+                }
             }
         }
     }
@@ -127,7 +142,7 @@ impl<M> Scheduler<M> {
     /// Marks `me` finished. Valid from `Running` (closure returned without
     /// draining) or `Draining` (released by quiescence).
     pub fn finish(&self, me: usize) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         match inner.procs[me] {
             ProcState::Running => {
                 inner.running -= 1;
@@ -148,13 +163,13 @@ impl<M> Scheduler<M> {
 
     /// Records a fatal condition and wakes every waiter.
     pub fn set_poison(&self, p: Poison) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         self.poison_locked(&mut inner, p);
     }
 
     /// Marks `me` dead after a panic and poisons the cluster.
     pub fn abandon(&self, me: usize, message: String) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         if inner.procs[me] == ProcState::Running {
             inner.running -= 1;
         }
@@ -163,7 +178,7 @@ impl<M> Scheduler<M> {
     }
 
     pub fn delivered(&self) -> u64 {
-        self.inner.lock().delivered
+        self.lock().delivered
     }
 
     fn poison_locked(&self, inner: &mut SchedInner<M>, p: Poison) {

@@ -1,20 +1,23 @@
-//! Property-based tests for the deterministic scheduler.
+//! Randomized tests for the deterministic scheduler.
+//!
+//! These are property tests driven by the internal [`SplitMix64`]
+//! generator (the workspace builds offline, so no external property
+//! testing framework): each case is derived from a fixed seed, making
+//! failures exactly reproducible from the printed case number.
 
-use midway_sim::{Cluster, ClusterConfig, NetModel, ProcHandle, VirtualTime};
-use proptest::prelude::*;
+use midway_sim::{Cluster, ClusterConfig, NetModel, ProcHandle, SplitMix64, VirtualTime};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Every sent message is delivered exactly once, at a time no earlier
+/// than its send time plus the wire cost, and per-receiver delivery
+/// times never decrease.
+#[test]
+fn delivery_is_exact_and_monotonic() {
+    let mut rng = SplitMix64::new(0x5eed_0001);
+    for case in 0..32 {
+        let procs = 2 + rng.next_below(4) as usize;
+        let fanout = 1 + rng.next_below(5) as usize;
+        let work: Vec<u64> = (0..5).map(|_| rng.next_below(10_000)).collect();
 
-    /// Every sent message is delivered exactly once, at a time no earlier
-    /// than its send time plus the wire cost, and per-receiver delivery
-    /// times never decrease.
-    #[test]
-    fn delivery_is_exact_and_monotonic(
-        procs in 2usize..=5,
-        fanout in 1usize..=5,
-        work in proptest::collection::vec(0u64..10_000, 5),
-    ) {
         let cfg = ClusterConfig::new(procs).net(NetModel {
             latency_cycles: 100,
             per_byte_millicycles: 1000,
@@ -27,10 +30,9 @@ proptest! {
             let n = p.procs();
             p.work(work2[me % work2.len()]);
             // Everyone sends `fanout` messages to the next processor.
-            for k in 0..fanout {
+            for _ in 0..fanout {
                 let sent_at = p.now();
                 p.send((me + 1) % n, (me, sent_at.cycles()), 16);
-                let _ = k;
             }
             // And receives `fanout` messages from the previous one.
             let mut arrivals = Vec::new();
@@ -47,25 +49,27 @@ proptest! {
             let mut prev = VirtualTime::ZERO;
             for &(at, src, claimed_src, sent_at) in arrivals {
                 delivered += 1;
-                prop_assert_eq!(src, claimed_src);
-                prop_assert_eq!(src, (pid + out.results.len() - 1) % out.results.len());
+                assert_eq!(src, claimed_src, "case {case}");
+                assert_eq!(src, (pid + out.results.len() - 1) % out.results.len());
                 // Wire cost: 100 latency + 16 bytes at 1 cycle/byte.
-                prop_assert!(at.cycles() >= sent_at + 116, "delivered before arrival");
-                prop_assert!(at >= prev, "per-receiver delivery went backwards");
+                assert!(at.cycles() >= sent_at + 116, "delivered before arrival");
+                assert!(at >= prev, "per-receiver delivery went backwards");
                 prev = at;
             }
         }
-        prop_assert_eq!(delivered as u64, out.messages_delivered);
-        prop_assert_eq!(delivered, procs * fanout);
+        assert_eq!(delivered as u64, out.messages_delivered, "case {case}");
+        assert_eq!(delivered, procs * fanout, "case {case}");
     }
+}
 
-    /// Finish time equals the maximum processor clock and is itself
-    /// deterministic across runs.
-    #[test]
-    fn finish_time_is_max_and_stable(
-        procs in 1usize..=4,
-        work in proptest::collection::vec(1u64..100_000, 4),
-    ) {
+/// Finish time equals the maximum processor clock and is itself
+/// deterministic across runs.
+#[test]
+fn finish_time_is_max_and_stable() {
+    let mut rng = SplitMix64::new(0x5eed_0002);
+    for case in 0..32 {
+        let procs = 1 + rng.next_below(4) as usize;
+        let work: Vec<u64> = (0..4).map(|_| 1 + rng.next_below(100_000)).collect();
         let run = || {
             let work = work.clone();
             Cluster::run(ClusterConfig::new(procs), move |p: &mut ProcHandle<u8>| {
@@ -76,8 +80,8 @@ proptest! {
         };
         let a = run();
         let max = a.results.iter().copied().max().expect("non-empty");
-        prop_assert_eq!(a.finish_time, max);
+        assert_eq!(a.finish_time, max, "case {case}");
         let b = run();
-        prop_assert_eq!(a.finish_time, b.finish_time);
+        assert_eq!(a.finish_time, b.finish_time, "case {case}");
     }
 }

@@ -1,7 +1,5 @@
 //! The primitive-operation cost model (paper Table 1).
 
-use serde::{Deserialize, Serialize};
-
 /// Measured costs of the primitive operations, in cycles.
 ///
 /// These are the paper's Table 1 values for a 25 MHz MIPS R3000 running
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// this structure so that the Figure 3/4 sweeps (varying the page-fault
 /// service time between a fast exception handler at 122 µs and Mach's
 /// external pager at 1200 µs) are a one-field change.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModel {
     /// Processor clock rate in MHz (paper: 25).
     pub mhz: u32,

@@ -59,6 +59,19 @@ impl TextTable {
         self.rows.len()
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows, separators skipped.
+    pub fn data_rows(&self) -> impl Iterator<Item = &[String]> {
+        self.rows
+            .iter()
+            .filter(|r| !r.is_empty())
+            .map(Vec::as_slice)
+    }
+
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()

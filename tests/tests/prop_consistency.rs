@@ -1,10 +1,13 @@
-//! Property-based consistency tests: random entry-consistency programs
-//! must preserve counting invariants on every backend.
+//! Randomized consistency tests: random entry-consistency programs
+//! must preserve counting invariants on every backend. Driven by the
+//! internal [`SplitMix64`] generator so the workspace tests offline;
+//! every case derives from a fixed seed and is exactly reproducible.
 
 use std::sync::Arc;
 
-use midway_core::{BackendKind, Midway, MidwayConfig, NetModel, Proc, SystemBuilder, SystemSpec};
-use proptest::prelude::*;
+use midway_core::{
+    BackendKind, Midway, MidwayConfig, NetModel, Proc, SplitMix64, SystemBuilder, SystemSpec,
+};
 
 const BACKENDS: [BackendKind; 4] = [
     BackendKind::Rt,
@@ -24,20 +27,30 @@ struct Plan {
     actions: Vec<Vec<(usize, usize, u64)>>,
 }
 
-fn plan_strategy() -> impl Strategy<Value = Plan> {
-    (2usize..=4, 1usize..=3, 1usize..=3, 1usize..=8).prop_flat_map(
-        |(procs, locks, slots, rounds)| {
-            let action = (0..locks, 0..slots, 1u64..100);
-            proptest::collection::vec(proptest::collection::vec(action, rounds), procs).prop_map(
-                move |actions| Plan {
-                    procs,
-                    locks,
-                    slots_per_lock: slots,
-                    actions,
-                },
-            )
-        },
-    )
+fn random_plan(rng: &mut SplitMix64) -> Plan {
+    let procs = 2 + rng.next_below(3) as usize;
+    let locks = 1 + rng.next_below(3) as usize;
+    let slots_per_lock = 1 + rng.next_below(3) as usize;
+    let rounds = 1 + rng.next_below(8) as usize;
+    let actions = (0..procs)
+        .map(|_| {
+            (0..rounds)
+                .map(|_| {
+                    (
+                        rng.next_below(locks as u64) as usize,
+                        rng.next_below(slots_per_lock as u64) as usize,
+                        1 + rng.next_below(99),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    Plan {
+        procs,
+        locks,
+        slots_per_lock,
+        actions,
+    }
 }
 
 fn build_spec(
@@ -95,13 +108,13 @@ fn run_plan(plan: &Plan, backend: BackendKind) -> Vec<u64> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// No increment is ever lost on any backend: the final value of every
-    /// slot equals the sum of the deltas applied to it.
-    #[test]
-    fn no_lost_updates_on_any_backend(plan in plan_strategy()) {
+/// No increment is ever lost on any backend: the final value of every
+/// slot equals the sum of the deltas applied to it.
+#[test]
+fn no_lost_updates_on_any_backend() {
+    let mut rng = SplitMix64::new(0xc0_0001);
+    for case in 0..24 {
+        let plan = random_plan(&mut rng);
         let mut expect = vec![0u64; plan.locks * plan.slots_per_lock];
         for proc_actions in &plan.actions {
             for &(lock, slot, delta) in proc_actions {
@@ -110,14 +123,18 @@ proptest! {
         }
         for backend in BACKENDS {
             let got = run_plan(&plan, backend);
-            prop_assert_eq!(&got, &expect, "{:?}", backend);
+            assert_eq!(got, expect, "{backend:?} case {case}");
         }
     }
+}
 
-    /// The simulation is a pure function of the program: every counter and
-    /// the finish time are identical across repeated runs.
-    #[test]
-    fn runs_are_bit_for_bit_deterministic(plan in plan_strategy()) {
+/// The simulation is a pure function of the program: every counter and
+/// the finish time are identical across repeated runs.
+#[test]
+fn runs_are_bit_for_bit_deterministic() {
+    let mut rng = SplitMix64::new(0xc0_0002);
+    for case in 0..24 {
+        let plan = random_plan(&mut rng);
         let fingerprint = |backend| {
             let (spec, locks, data) = build_spec(&plan);
             let plan = plan.clone();
@@ -148,23 +165,21 @@ proptest! {
         for backend in [BackendKind::Rt, BackendKind::Vm] {
             let a = fingerprint(backend);
             let b = fingerprint(backend);
-            prop_assert_eq!(a, b, "{:?} diverged between runs", backend);
+            assert_eq!(a, b, "{backend:?} diverged between runs (case {case})");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Barrier-partitioned writes propagate exactly: after the barrier
-    /// every processor sees every partition's latest values.
-    #[test]
-    fn barriers_propagate_partitioned_writes(
-        procs in 2usize..=4,
-        per_proc in 1usize..=6,
-        rounds in 1usize..=4,
-        seed in any::<u64>(),
-    ) {
+/// Barrier-partitioned writes propagate exactly: after the barrier
+/// every processor sees every partition's latest values.
+#[test]
+fn barriers_propagate_partitioned_writes() {
+    let mut rng = SplitMix64::new(0xc0_0003);
+    for case in 0..16 {
+        let procs = 2 + rng.next_below(3) as usize;
+        let per_proc = 1 + rng.next_below(6) as usize;
+        let rounds = 1 + rng.next_below(4) as usize;
+        let seed = rng.next_u64();
         for backend in BACKENDS {
             let n = procs * per_proc;
             let mut b = SystemBuilder::new();
@@ -176,7 +191,7 @@ proptest! {
             let spec = b.build();
             let run = Midway::run(MidwayConfig::new(procs, backend), &spec, |p: &mut Proc| {
                 let me = p.id();
-                let mut rng = midway_core::SplitMix64::new(seed ^ me as u64);
+                let mut rng = SplitMix64::new(seed ^ me as u64);
                 for round in 1..=rounds as u64 {
                     for i in me * per_proc..(me + 1) * per_proc {
                         p.write(&data, i, round * 1000 + i as u64 + rng.next_below(7));
@@ -192,7 +207,7 @@ proptest! {
             .expect("simulation failed");
             let first = &run.results[0];
             for (pid, got) in run.results.iter().enumerate() {
-                prop_assert_eq!(got, first, "{:?}: proc {} diverged", backend, pid);
+                assert_eq!(got, first, "{backend:?}: proc {pid} diverged (case {case})");
             }
         }
     }

@@ -331,7 +331,7 @@ fn application_lock_cycle_is_reported_as_deadlock() {
 fn rt_transfers_only_modified_lines_while_blast_ships_everything() {
     // The paper's central data-transfer claim: an exact update history
     // minimizes traffic; blast is the upper bound.
-    let mut run_with = |backend| {
+    let run_with = |backend| {
         let mut b = SystemBuilder::new();
         let data = b.shared_array::<u64>("data", 512, 1); // 4 KB bound
         let lock = b.lock(vec![data.full_range()]);

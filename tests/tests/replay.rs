@@ -1,0 +1,124 @@
+//! Cross-backend trace replay equivalence: record a live application run,
+//! round-trip the trace through the binary format, replay it without the
+//! application, and require bit-for-bit agreement on every Table 2
+//! counter, the finish time and the message count.
+//!
+//! This is the end-to-end form of the determinism argument: because the
+//! simulator delivers events in a canonical order, a processor's
+//! recorded shared-memory operation stream fully determines the run.
+
+use midway_apps::{AppKind, Scale};
+use midway_core::{BackendKind, MidwayConfig};
+use midway_replay::{record_app, replay, verify_replay, Trace};
+
+/// Records `kind` under `backend`, round-trips the trace through the byte
+/// format, and checks the replay oracle.
+fn record_and_verify(kind: AppKind, backend: BackendKind, procs: usize) {
+    let cfg = MidwayConfig::new(procs, backend);
+    let (outcome, trace) = record_app(kind, cfg, Scale::Small);
+    assert!(
+        outcome.verified,
+        "{} live run failed verification under {}",
+        kind.label(),
+        backend.label()
+    );
+
+    // The trace that reaches a replayer has been through the file format.
+    let decoded = Trace::decode(&trace.encode()).expect("round-trip");
+    assert_eq!(decoded, trace, "encode/decode must be lossless");
+
+    let run = verify_replay(&decoded).unwrap_or_else(|divergence| {
+        panic!(
+            "{} replay diverged under {}: {divergence}",
+            kind.label(),
+            backend.label()
+        )
+    });
+
+    // Spot-check the oracle compared something real.
+    assert_eq!(run.finish_time.cycles(), outcome.finish_time.cycles());
+    assert_eq!(run.counters, outcome.counters);
+    assert_eq!(run.messages, outcome.messages);
+    assert!(
+        run.finish_time.cycles() > 0,
+        "a replayed run still charges time"
+    );
+}
+
+#[test]
+fn sor_replays_bit_for_bit_on_rt() {
+    record_and_verify(AppKind::Sor, BackendKind::Rt, 4);
+}
+
+#[test]
+fn sor_replays_bit_for_bit_on_vm() {
+    record_and_verify(AppKind::Sor, BackendKind::Vm, 4);
+}
+
+#[test]
+fn matmul_replays_bit_for_bit_on_rt() {
+    record_and_verify(AppKind::Matmul, BackendKind::Rt, 4);
+}
+
+#[test]
+fn matmul_replays_bit_for_bit_on_vm() {
+    record_and_verify(AppKind::Matmul, BackendKind::Vm, 4);
+}
+
+#[test]
+fn quicksort_replays_bit_for_bit_on_both_backends() {
+    record_and_verify(AppKind::Quicksort, BackendKind::Rt, 4);
+    record_and_verify(AppKind::Quicksort, BackendKind::Vm, 4);
+}
+
+/// A trace recorded under RT-DSM drives every other backend: the stream
+/// is backend-independent (it records what the application did, not what
+/// the protocol did), and cross-backend replays must agree with a live
+/// run of the same application under the target backend.
+#[test]
+fn rt_trace_replayed_on_other_backends_matches_live_runs() {
+    let (_, trace) = record_app(
+        AppKind::Sor,
+        MidwayConfig::new(4, BackendKind::Rt),
+        Scale::Small,
+    );
+    for backend in [BackendKind::Vm, BackendKind::Blast, BackendKind::TwinAll] {
+        let cfg = MidwayConfig::new(4, backend);
+        let replayed = replay(&trace, cfg).expect("replay");
+        let (live, _) = record_app(AppKind::Sor, cfg, Scale::Small);
+        assert_eq!(
+            replayed.counters,
+            live.counters,
+            "replayed-from-RT-trace counters diverge from live run under {}",
+            backend.label()
+        );
+        assert_eq!(
+            replayed.finish_time.cycles(),
+            live.finish_time.cycles(),
+            "replayed-from-RT-trace finish time diverges under {}",
+            backend.label()
+        );
+    }
+}
+
+/// Replaying a trace with recording on reproduces the identical trace:
+/// the recorder and replayer are exact inverses.
+#[test]
+fn replaying_with_recording_reproduces_the_trace() {
+    let (_, trace) = record_app(
+        AppKind::Sor,
+        MidwayConfig::new(2, BackendKind::Rt),
+        Scale::Small,
+    );
+    let cfg = trace.recorded_cfg().record(true);
+    let rerun = replay(&trace, cfg).expect("replay");
+    let retrace = Trace::from_run(
+        &trace.meta.app,
+        &trace.meta.scale,
+        trace.meta.verified,
+        &rerun,
+    );
+    assert_eq!(retrace.ops, trace.ops, "re-recorded op streams differ");
+    assert_eq!(retrace.blueprint, trace.blueprint);
+    assert_eq!(retrace.encode(), trace.encode(), "byte-identical files");
+}

@@ -16,16 +16,22 @@ cargo build --release
 echo "==> cargo test"
 cargo test --workspace -q
 
-echo "==> trace record/replay determinism smoke"
+echo "==> cargo doc (-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "==> trace record/replay determinism smoke (every backend)"
 smoke=$(mktemp -d)
 trap 'rm -rf "$smoke"' EXIT
+for backend in rt vm blast twinall hybrid; do
+    cargo run --release -q -p midway-replay --bin trace -- \
+        record --app sor --scale small --procs 4 --backend "$backend" \
+        --out "$smoke/sor-$backend.mwt"
+    cargo run --release -q -p midway-replay --bin trace -- \
+        replay "$smoke/sor-$backend.mwt" --check
+done
 cargo run --release -q -p midway-replay --bin trace -- \
-    record --app sor --scale small --procs 4 --out "$smoke/sor.mwt"
+    replay "$smoke/sor-rt.mwt" --backend vm >/dev/null
 cargo run --release -q -p midway-replay --bin trace -- \
-    replay "$smoke/sor.mwt" --check
-cargo run --release -q -p midway-replay --bin trace -- \
-    replay "$smoke/sor.mwt" --backend vm >/dev/null
-cargo run --release -q -p midway-replay --bin trace -- \
-    info "$smoke/sor.mwt" >/dev/null
+    info "$smoke/sor-rt.mwt" >/dev/null
 
 echo "==> ci.sh: all green"

@@ -1,9 +1,11 @@
 //! Ablation A1/A2: the §3.5 alternative strategies.
 //!
 //! Compares, per application: RT-DSM, VM-DSM, the "blast" strawman (no
-//! write detection; all bound data shipped on every transfer) and
+//! write detection; all bound data shipped on every transfer),
 //! "twin-everything" (no trapping; every bound page twinned and diffed at
-//! every transfer). The paper argues blast "would transfer data
+//! every transfer) and the hybrid backend (§5: dirtybits for small
+//! regions, page twinning for large ones, chosen per region). The paper
+//! argues blast "would transfer data
 //! unnecessarily when synchronization objects guard large data objects
 //! being sparsely written", and that twin-everything trades trapping for
 //! more expensive collection — "strategies that reduce the number of page
@@ -20,16 +22,17 @@
 //! estimated network constants.
 
 use midway_apps::{run_app, AppKind, AppOutcome};
-use midway_bench::{backend_tag, banner, cached_trace, replay_outcome, BenchArgs, Json};
+use midway_bench::{banner, cached_trace, replay_outcome, BenchArgs, Json};
 use midway_core::{BackendKind, MidwayConfig, NetModel};
 use midway_replay::replay;
 use midway_stats::{fmt_f64, TextTable};
 
-const BACKENDS: [BackendKind; 4] = [
+const BACKENDS: [BackendKind; 5] = [
     BackendKind::Rt,
     BackendKind::Vm,
     BackendKind::Blast,
     BackendKind::TwinAll,
+    BackendKind::Hybrid,
 ];
 
 fn main() {
@@ -42,10 +45,12 @@ fn main() {
         "VM (s)",
         "Blast (s)",
         "TwinAll (s)",
+        "Hybrid (s)",
         "RT MB",
         "VM MB",
         "Blast MB",
         "TwinAll MB",
+        "Hybrid MB",
     ]);
     let mut apps_json = Vec::new();
     for app in AppKind::all() {
@@ -78,7 +83,7 @@ fn main() {
                     BACKENDS
                         .iter()
                         .zip(&outs)
-                        .map(|(b, o)| (backend_tag(*b), Json::F64(o.exec_secs))),
+                        .map(|(b, o)| (b.cli_name(), Json::F64(o.exec_secs))),
                 ),
             ),
             (
@@ -87,7 +92,7 @@ fn main() {
                     BACKENDS
                         .iter()
                         .zip(&outs)
-                        .map(|(b, o)| (backend_tag(*b), Json::F64(o.data_mb_total))),
+                        .map(|(b, o)| (b.cli_name(), Json::F64(o.data_mb_total))),
                 ),
             ),
         ]));
@@ -126,7 +131,7 @@ fn main() {
                     };
                     cells.push(fmt_f64(secs, 1));
                     points.push(Json::obj([
-                        ("backend", Json::str(backend_tag(b))),
+                        ("backend", Json::str(b.cli_name())),
                         ("net_scale", Json::F64(num as f64 / den as f64)),
                         ("exec_secs", Json::F64(secs)),
                     ]));

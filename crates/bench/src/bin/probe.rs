@@ -8,7 +8,7 @@
 use std::time::Instant;
 
 use midway_apps::AppKind;
-use midway_bench::{backend_tag, BenchArgs, Json};
+use midway_bench::{BenchArgs, Json};
 use midway_core::{BackendKind, Counters, MidwayConfig};
 use midway_replay::{record_app, verify_replay};
 
@@ -58,7 +58,7 @@ fn main() {
             }
             rows.push(Json::obj([
                 ("app", Json::str(kind.label())),
-                ("backend", Json::str(backend_tag(backend))),
+                ("backend", Json::str(backend.cli_name())),
                 ("host_secs", Json::F64(live_secs)),
                 (
                     "replay_secs",

@@ -15,6 +15,10 @@ pub enum BackendKind {
     /// §3.5 alternative: twin everything, diff at every transfer, no
     /// faults.
     TwinAll,
+    /// Paper §5's hybrid sketch: RT dirtybit templates for small or
+    /// regular regions, VM page twinning for large shared ones — chosen
+    /// per region from the layout, speaking the RT update protocol.
+    Hybrid,
     /// No detection and no consistency at all: the *standalone* build used
     /// for the uniprocessor baseline in Figure 2 (valid only with one
     /// processor).
@@ -22,6 +26,27 @@ pub enum BackendKind {
 }
 
 impl BackendKind {
+    /// Every backend, in the canonical registry order (also the order
+    /// harnesses iterate and docs list them in).
+    pub const ALL: [BackendKind; 6] = [
+        BackendKind::Rt,
+        BackendKind::Vm,
+        BackendKind::Blast,
+        BackendKind::TwinAll,
+        BackendKind::Hybrid,
+        BackendKind::None,
+    ];
+
+    /// The backends that move data (everything except the standalone
+    /// baseline) — the set protocol comparisons iterate over.
+    pub const DATA: [BackendKind; 5] = [
+        BackendKind::Rt,
+        BackendKind::Vm,
+        BackendKind::Blast,
+        BackendKind::TwinAll,
+        BackendKind::Hybrid,
+    ];
+
     /// A short label for reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -29,8 +54,52 @@ impl BackendKind {
             BackendKind::Vm => "VM-DSM",
             BackendKind::Blast => "Blast",
             BackendKind::TwinAll => "TwinAll",
+            BackendKind::Hybrid => "Hybrid-DSM",
             BackendKind::None => "standalone",
         }
+    }
+
+    /// The name used on command lines and in trace-cache file names.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            BackendKind::Rt => "rt",
+            BackendKind::Vm => "vm",
+            BackendKind::Blast => "blast",
+            BackendKind::TwinAll => "twinall",
+            BackendKind::Hybrid => "hybrid",
+            BackendKind::None => "none",
+        }
+    }
+
+    /// Parses a CLI backend name; the error lists every valid name.
+    pub fn from_cli_name(s: &str) -> Result<BackendKind, String> {
+        BackendKind::ALL
+            .into_iter()
+            .find(|b| b.cli_name() == s)
+            .ok_or_else(|| format!("unknown backend {s:?} (use {})", BackendKind::cli_names()))
+    }
+
+    /// All CLI names, `|`-separated (for usage strings and errors).
+    pub fn cli_names() -> String {
+        BackendKind::ALL.map(BackendKind::cli_name).join("|")
+    }
+
+    /// The backend's byte tag in the `MWTR` trace-file format. Stable:
+    /// tags are append-only so old trace files keep decoding.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            BackendKind::Rt => 0,
+            BackendKind::Vm => 1,
+            BackendKind::Blast => 2,
+            BackendKind::TwinAll => 3,
+            BackendKind::None => 4,
+            BackendKind::Hybrid => 5,
+        }
+    }
+
+    /// The backend a trace-file byte tag names, if any.
+    pub fn from_wire_tag(t: u8) -> Option<BackendKind> {
+        BackendKind::ALL.into_iter().find(|b| b.wire_tag() == t)
     }
 }
 
@@ -104,6 +173,19 @@ mod tests {
         assert_eq!(c.procs, 8);
         assert_eq!(c.cost.mhz, 25);
         assert_eq!(c.cost.page_size, 4096);
+    }
+
+    #[test]
+    fn registry_round_trips_every_backend() {
+        for b in BackendKind::ALL {
+            assert_eq!(BackendKind::from_cli_name(b.cli_name()), Ok(b));
+            assert_eq!(BackendKind::from_wire_tag(b.wire_tag()), Some(b));
+        }
+        assert_eq!(BackendKind::from_wire_tag(250), None);
+        let err = BackendKind::from_cli_name("mystery").unwrap_err();
+        for b in BackendKind::ALL {
+            assert!(err.contains(b.cli_name()), "{err} should list {b:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Hybrid detector: the paper §5 sketch — "a hybrid implementation that
+//! uses virtual memory support to detect writes to large objects, and
+//! software dirty bits for small objects".
+//!
+//! Each region picks its trapping mechanism at startup from the layout:
+//! small or private regions run the RT dirtybit templates (cheap per-store,
+//! line-granular), large shared regions use VM page twinning (free stores
+//! after the first fault per page). Collection *harvests* the VM diffs into
+//! the dirtybit map and then runs the ordinary RT timestamp scan, so the
+//! wire protocol is exactly RT-DSM's — peers only ever see timestamped
+//! update sets, whatever mechanism detected the writes.
+
+use midway_mem::{Addr, MemClass, PageTable, EPOCH, PAGE_SHIFT, PAGE_SIZE};
+use midway_proto::{rt, vm, Binding, SeenToken, UpdateSet};
+use midway_sim::Category;
+
+use crate::msg::GrantPayload;
+use crate::setup::SystemSpec;
+
+use super::{DetectCx, WriteDetector};
+
+/// Shared regions at least this big (four pages) trap through the VM
+/// mechanism; everything smaller — and all private data — runs templates.
+const PAGING_THRESHOLD: usize = 4 * PAGE_SIZE;
+
+/// The per-region mechanism choice.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mechanism {
+    /// RT dirtybit template on every store.
+    Template,
+    /// VM write fault + twin on the first store per page.
+    Paging,
+}
+
+/// The hybrid RT+VM backend.
+pub struct HybridDetector {
+    /// Mechanism per region slot (indexed by region id).
+    policy: Vec<Mechanism>,
+    dirty: rt::DirtyMap,
+    pages: PageTable,
+    /// Per lock: the logical time as of which this processor's cache of
+    /// the lock's data is consistent (RT-style).
+    last_seen: Vec<u64>,
+}
+
+impl HybridDetector {
+    /// A fresh detector; the mechanism choice is made here, per region.
+    pub fn new(spec: &SystemSpec) -> HybridDetector {
+        let policy = (0..spec.layout.region_slots())
+            .map(|id| match spec.layout.region(id) {
+                Some(desc) if desc.class == MemClass::Shared && desc.used >= PAGING_THRESHOLD => {
+                    Mechanism::Paging
+                }
+                _ => Mechanism::Template,
+            })
+            .collect();
+        HybridDetector {
+            policy,
+            dirty: rt::DirtyMap::new(&spec.layout),
+            pages: PageTable::new(std::sync::Arc::clone(&spec.layout)),
+            last_seen: vec![EPOCH; spec.locks.len()],
+        }
+    }
+
+    /// Folds the VM-side modifications under `binding` into the dirtybit
+    /// map, so the RT timestamp scan that follows sees them. Pages fully
+    /// covered by the binding are cleaned (re-protected); the update data
+    /// itself is discarded — the RT scan re-reads it from the store.
+    fn harvest_paged_writes(&mut self, cx: &mut DetectCx<'_>, binding: &Binding) {
+        let col = vm::collect(cx.store, &mut self.pages, &cx.spec.layout, binding);
+        for (runs, words) in &col.diff_runs {
+            (cx.charge)(
+                Category::WriteCollect,
+                cx.cost.page_diff_cycles(*runs, *words),
+            );
+        }
+        (cx.charge)(
+            Category::WriteCollect,
+            col.pages_cleaned * cx.cost.protect_ro,
+        );
+        cx.counters.pages_diffed += col.pages_diffed;
+        cx.counters.pages_write_protected += col.pages_cleaned;
+        for item in &col.update.items {
+            rt::mark_write(
+                &mut self.dirty,
+                &cx.spec.layout,
+                Addr(item.addr),
+                item.data.len(),
+            );
+        }
+    }
+
+    /// Applies an RT update set, additionally patching the twins of
+    /// locally-dirty VM-mechanism pages so incoming data is not re-diffed
+    /// as a local modification. Returns (RT apply result, twin bytes).
+    fn apply_set(&mut self, cx: &mut DetectCx<'_>, set: &UpdateSet) -> (rt::RtApply, u64) {
+        let pages = &mut self.pages;
+        let policy = &self.policy;
+        let mut twin_bytes = 0u64;
+        let res = rt::apply_with(
+            cx.store,
+            &mut self.dirty,
+            &cx.spec.layout,
+            set,
+            |addr, data| {
+                let region = addr.region_index();
+                if policy[region] != Mechanism::Paging {
+                    return;
+                }
+                // A chunk never crosses a cache line, and lines never cross
+                // pages, so one twin covers the whole chunk.
+                let page = addr.page_in_region();
+                if let Some(twin) = pages.twin_mut(region, page) {
+                    let start = addr.page_offset();
+                    let end = (start + data.len()).min(twin.len());
+                    if start < end {
+                        twin[start..end].copy_from_slice(&data[..end - start]);
+                        twin_bytes += (end - start) as u64;
+                    }
+                }
+            },
+        );
+        (res, twin_bytes)
+    }
+}
+
+impl WriteDetector for HybridDetector {
+    fn trap_write(&mut self, cx: &mut DetectCx<'_>, addr: Addr, len: usize) {
+        let desc = cx.spec.layout.region_of(addr);
+        match self.policy[desc.id] {
+            Mechanism::Template => {
+                let template = cx.spec.templates[desc.id].expect("allocated region has template");
+                let bits = self.dirty.bits_mut(&cx.spec.layout, desc.id);
+                let hit = template.invoke(bits, addr, midway_mem::StoreKind::of_len(len), &cx.cost);
+                (cx.charge)(Category::WriteTrap, hit.cycles);
+                if hit.misclassified {
+                    cx.counters.dirtybits_misclassified += 1;
+                } else {
+                    cx.counters.dirtybits_set += hit.lines_marked;
+                }
+            }
+            Mechanism::Paging => {
+                let first = addr.page_in_region();
+                let last = Addr(addr.raw() + len.max(1) as u64 - 1).page_in_region();
+                for page in first..=last {
+                    if self.pages.store_probe(desc.id, page) == midway_mem::WriteAccess::Fault {
+                        let offset = page << PAGE_SHIFT;
+                        let plen = PAGE_SIZE.min(desc.used - offset);
+                        let snapshot = cx.store.bytes(desc.base() + offset as u64, plen).to_vec();
+                        self.pages.fault_in(desc.id, page, &snapshot);
+                        (cx.charge)(Category::WriteTrap, cx.cost.page_write_fault);
+                        cx.counters.write_faults += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn seen_token(&self, lock: usize, binding: &Binding) -> SeenToken {
+        (self.last_seen[lock], binding.version())
+    }
+
+    fn collect_for(
+        &mut self,
+        cx: &mut DetectCx<'_>,
+        _lock: usize,
+        binding: &Binding,
+        seen: SeenToken,
+    ) -> GrantPayload {
+        let now = cx.clock.tick();
+        let last_seen = if seen.1 == binding.version() {
+            seen.0
+        } else {
+            EPOCH
+        };
+        self.harvest_paged_writes(cx, binding);
+        let scan = rt::collect(
+            cx.store,
+            &mut self.dirty,
+            &cx.spec.layout,
+            binding,
+            last_seen,
+            now,
+        );
+        (cx.charge)(
+            Category::WriteCollect,
+            scan.clean_reads * cx.cost.dirtybit_read_clean
+                + scan.dirty_reads * cx.cost.dirtybit_read_dirty,
+        );
+        cx.counters.clean_dirtybits_read += scan.clean_reads;
+        cx.counters.dirty_dirtybits_read += scan.dirty_reads;
+        GrantPayload::Rt {
+            set: scan.set,
+            consist_time: now,
+            binding: binding.clone(),
+        }
+    }
+
+    fn apply_update(
+        &mut self,
+        cx: &mut DetectCx<'_>,
+        lock: usize,
+        binding: &mut Binding,
+        payload: GrantPayload,
+    ) {
+        let GrantPayload::Rt {
+            set,
+            consist_time,
+            binding: sent,
+        } = payload
+        else {
+            panic!("non-RT grant on hybrid node");
+        };
+        let (res, twin_bytes) = self.apply_set(cx, &set);
+        (cx.charge)(
+            Category::WriteCollect,
+            res.dirtybits_updated * cx.cost.dirtybit_update
+                + cx.cost.copy_cycles(res.bytes_applied as usize, true)
+                + cx.cost.copy_cycles(twin_bytes as usize, true),
+        );
+        cx.counters.dirtybits_updated += res.dirtybits_updated;
+        cx.counters.redundant_bytes_received += res.bytes_redundant;
+        cx.counters.twin_bytes_updated += twin_bytes;
+        self.last_seen[lock] = consist_time;
+        binding.install(sent);
+        cx.clock.observe(consist_time);
+    }
+
+    fn collect_barrier(
+        &mut self,
+        cx: &mut DetectCx<'_>,
+        scan: &Binding,
+        last_consist: u64,
+        _partitioned: bool,
+    ) -> UpdateSet {
+        let now = cx.clock.tick();
+        self.harvest_paged_writes(cx, scan);
+        let res = rt::collect(
+            cx.store,
+            &mut self.dirty,
+            &cx.spec.layout,
+            scan,
+            last_consist,
+            now,
+        );
+        (cx.charge)(
+            Category::WriteCollect,
+            res.clean_reads * cx.cost.dirtybit_read_clean
+                + res.dirty_reads * cx.cost.dirtybit_read_dirty,
+        );
+        cx.counters.clean_dirtybits_read += res.clean_reads;
+        cx.counters.dirty_dirtybits_read += res.dirty_reads;
+        res.set
+    }
+
+    fn apply_barrier(&mut self, cx: &mut DetectCx<'_>, set: &UpdateSet) {
+        let (res, twin_bytes) = self.apply_set(cx, set);
+        (cx.charge)(
+            Category::WriteCollect,
+            res.dirtybits_updated * cx.cost.dirtybit_update
+                + cx.cost.copy_cycles(res.bytes_applied as usize, true)
+                + cx.cost.copy_cycles(twin_bytes as usize, true),
+        );
+        cx.counters.dirtybits_updated += res.dirtybits_updated;
+        cx.counters.redundant_bytes_received += res.bytes_redundant;
+        cx.counters.twin_bytes_updated += twin_bytes;
+    }
+}

@@ -1,0 +1,170 @@
+//! The pluggable write-detection layer.
+//!
+//! The paper's central claim is that write *detection* is a policy
+//! separable from the entry-consistency *protocol* (§3; §5 even sketches
+//! a hybrid compiler+VM scheme). This module is that seam: the protocol
+//! engine in `node` speaks only [`WriteDetector`], and one
+//! implementation per backend owns all backend-specific state — the RT
+//! dirtybit map, the VM page table / twins / incarnation histories, the
+//! twin-everything twins, and the hybrid's per-region mix of both.
+//!
+//! A detector is driven through five moments of the protocol:
+//!
+//! * [`trap_write`](WriteDetector::trap_write) — before every shared
+//!   store (the paper's §3.1/§3.3 trapping mechanisms);
+//! * [`seen_token`](WriteDetector::seen_token) — what this processor has
+//!   already seen of a lock's data, carried opaquely with acquire
+//!   requests;
+//! * [`collect_for`](WriteDetector::collect_for) /
+//!   [`apply_update`](WriteDetector::apply_update) — write collection at
+//!   the owner of record and application at the requester (§3.2/§3.4);
+//! * [`collect_barrier`](WriteDetector::collect_barrier) /
+//!   [`apply_barrier`](WriteDetector::apply_barrier) — the barrier-bound
+//!   variants of the same.
+//!
+//! Per-line and per-page costs are charged through [`DetectCx`], so the
+//! engine — and the tests — never need to know which primitives a backend
+//! consumes.
+//!
+//! # How to add a backend
+//!
+//! 1. Add a variant to [`BackendKind`] and extend its registry methods
+//!    (`label`, `cli_name`, `wire_tag` — the compiler walks you through
+//!    every exhaustive match, none of which live in the engine).
+//! 2. Implement [`WriteDetector`] in a new submodule here, owning any
+//!    per-lock or per-region state the backend needs.
+//! 3. Construct it in [`BackendKind::new_detector`].
+//! 4. If the backend has Table 3–5 cost formulas, add arms in
+//!    [`report`](crate::report).
+//!
+//! Everything else — harness CLIs, the trace format, the replay sweep —
+//! routes through the registry and picks the new backend up for free.
+
+use midway_mem::{Addr, LocalStore};
+use midway_proto::{Binding, LamportClock, SeenToken, UpdateSet};
+use midway_sim::Category;
+use midway_stats::CostModel;
+
+use crate::config::{BackendKind, MidwayConfig};
+use crate::counters::Counters;
+use crate::msg::GrantPayload;
+use crate::setup::SystemSpec;
+
+mod blast;
+mod hybrid;
+mod none;
+mod rt;
+mod twin_all;
+mod vm;
+
+pub use blast::BlastDetector;
+pub use hybrid::HybridDetector;
+pub use none::NoneDetector;
+pub use rt::RtDetector;
+pub use twin_all::TwinAllDetector;
+pub use vm::VmDetector;
+
+/// What a detector may touch while servicing a protocol event: the local
+/// cache, the immutable system description, the cost model, the Lamport
+/// clock, the Table 2 counters, and a cycle-charging sink.
+///
+/// The engine builds one per event from disjoint borrows of the node, so
+/// detectors never see the protocol state (locks, homes, barriers) or the
+/// simulator handle.
+pub struct DetectCx<'a> {
+    /// This processor's local cache of the global address space.
+    pub store: &'a mut LocalStore,
+    /// The shared system description (layout, templates, bindings).
+    pub spec: &'a SystemSpec,
+    /// Primitive-operation costs (paper Table 1).
+    pub cost: CostModel,
+    /// This processor's Lamport clock.
+    pub clock: &'a mut LamportClock,
+    /// The Table 2 counters of this processor.
+    pub counters: &'a mut Counters,
+    /// Charges virtual cycles to this processor, by category. Invoke as
+    /// `(cx.charge)(Category::WriteTrap, cycles)`.
+    pub charge: &'a mut dyn FnMut(Category, u64),
+}
+
+/// One write-detection backend: the trapping mechanism, the collection
+/// scan, and the bookkeeping that makes updates exactly-once.
+///
+/// Implementations own every piece of backend-specific state (dirtybit
+/// maps, page tables, twins, incarnation histories, per-lock last-seen
+/// tokens); the protocol engine holds only bindings and hold state.
+pub trait WriteDetector {
+    /// Traps a store of `len` bytes at `addr`, *before* the bytes land in
+    /// the local cache.
+    fn trap_write(&mut self, cx: &mut DetectCx<'_>, addr: Addr, len: usize);
+
+    /// The opaque "what I have already seen of this lock's data" token
+    /// sent with acquire requests and handed back to
+    /// [`collect_for`](WriteDetector::collect_for) at the owner of
+    /// record. RT-style backends store (Lamport time, binding version);
+    /// VM-style backends store (incarnation, binding version).
+    fn seen_token(&self, lock: usize, binding: &Binding) -> SeenToken {
+        let _ = (lock, binding);
+        (0, 0)
+    }
+
+    /// Runs write collection for `lock` as the owner of record, on behalf
+    /// of a requester whose last-seen token is `seen`. `binding` is the
+    /// owner's current binding of the lock.
+    fn collect_for(
+        &mut self,
+        cx: &mut DetectCx<'_>,
+        lock: usize,
+        binding: &Binding,
+        seen: SeenToken,
+    ) -> GrantPayload;
+
+    /// Applies a grant's payload at the requester. The detector installs
+    /// the payload's binding into `binding` (the engine's record for the
+    /// lock) and advances its own last-seen state.
+    fn apply_update(
+        &mut self,
+        cx: &mut DetectCx<'_>,
+        lock: usize,
+        binding: &mut Binding,
+        payload: GrantPayload,
+    );
+
+    /// Notifies the detector that `lock` was rebound (its binding version
+    /// bumped). Only VM-DSM reacts: old incarnation updates describe
+    /// ranges that may no longer be bound.
+    fn on_rebind(&mut self, lock: usize) {
+        let _ = lock;
+    }
+
+    /// Collects this processor's modifications of barrier-bound data.
+    /// `scan` is the binding to scan (the processor's partition, if the
+    /// barrier is partitioned — `partitioned` says so), and
+    /// `last_consist` the engine's consistency time after the previous
+    /// episode (used by RT-style backends as the scan's last-seen time).
+    fn collect_barrier(
+        &mut self,
+        cx: &mut DetectCx<'_>,
+        scan: &Binding,
+        last_consist: u64,
+        partitioned: bool,
+    ) -> UpdateSet;
+
+    /// Applies the merged updates received at a barrier release.
+    fn apply_barrier(&mut self, cx: &mut DetectCx<'_>, set: &UpdateSet);
+}
+
+impl BackendKind {
+    /// Constructs the write detector this backend uses — the single
+    /// registry point mapping `BackendKind` to behavior.
+    pub fn new_detector(self, cfg: &MidwayConfig, spec: &SystemSpec) -> Box<dyn WriteDetector> {
+        match self {
+            BackendKind::None => Box::new(NoneDetector),
+            BackendKind::Rt => Box::new(RtDetector::new(spec)),
+            BackendKind::Vm => Box::new(VmDetector::new(cfg, spec)),
+            BackendKind::Blast => Box::new(BlastDetector),
+            BackendKind::TwinAll => Box::new(TwinAllDetector::new(cfg, spec)),
+            BackendKind::Hybrid => Box::new(HybridDetector::new(spec)),
+        }
+    }
+}

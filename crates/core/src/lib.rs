@@ -40,6 +40,7 @@
 mod api;
 mod config;
 mod counters;
+pub mod detect;
 mod msg;
 mod node;
 pub mod report;
@@ -50,6 +51,7 @@ pub mod trace;
 pub use api::Proc;
 pub use config::{BackendKind, MidwayConfig};
 pub use counters::{AvgCounters, Counters};
+pub use detect::{DetectCx, WriteDetector};
 pub use msg::{DsmMsg, GrantPayload};
 pub use run::{Midway, MidwayRun};
 pub use setup::{Scalar, SharedArray, SystemBuilder, SystemSpec};

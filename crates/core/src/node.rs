@@ -1,57 +1,47 @@
-//! The per-processor DSM runtime: write trapping, write collection, and
-//! the entry-consistency protocol engine.
+//! The per-processor DSM runtime: a backend-agnostic entry-consistency
+//! protocol engine.
+//!
+//! All backend-specific behavior — trapping, collection, application,
+//! last-seen bookkeeping — lives behind the [`WriteDetector`] trait in
+//! [`crate::detect`]; this module and its submodules own only the protocol
+//! state (bindings, hold state, homes, barrier sites) and the message
+//! plumbing:
+//!
+//! * [`locks`] — the acquire/release/rebind path;
+//! * [`barriers`] — the barrier arrive/release path;
+//! * [`transfer`] — grant construction, transfer routing, and grant
+//!   application.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use midway_mem::{Addr, LocalStore, MemClass, PageTable, PAGE_SHIFT, PAGE_SIZE};
-use midway_proto::{
-    blast, rt, vm, BarrierId, BarrierSite, Binding, HomeLock, LamportClock, LockId, Mode, Update,
-    UpdateItem, UpdateSet,
-};
+use midway_mem::{Addr, LocalStore};
+use midway_proto::{BarrierId, BarrierSite, Binding, HomeLock, LamportClock, LockId, Mode};
 use midway_sim::{Category, ProcHandle};
 
-use crate::config::{BackendKind, MidwayConfig};
+use crate::config::MidwayConfig;
 use crate::counters::Counters;
-use crate::msg::{DsmMsg, GrantPayload};
+use crate::detect::{DetectCx, WriteDetector};
+use crate::msg::DsmMsg;
 use crate::setup::SystemSpec;
 
-/// Per-backend node state.
-enum BackendState {
-    None,
-    Rt {
-        dirty: rt::DirtyMap,
-    },
-    Vm {
-        pages: PageTable,
-    },
-    Blast,
-    TwinAll {
-        twins: HashMap<(usize, usize), Box<[u8]>>,
-    },
-}
+mod barriers;
+mod locks;
+mod transfer;
 
-/// Per-lock node state.
+/// Per-lock protocol state (backend state lives in the detector).
 struct LockNode {
     binding: Binding,
     held: Option<Mode>,
-    /// RT: the logical time as of which this processor's cache of the
-    /// lock's data is consistent.
-    rt_last_seen: u64,
-    /// VM: (incarnation, binding version) last seen.
-    vm_last_seen: (u64, u64),
-    /// VM: current incarnation (meaningful at the owner of record).
-    vm_incarnation: u64,
-    /// VM: the update history this processor knows.
-    vm_history: vm::LockHistory,
 }
 
-/// Per-barrier node state.
+/// Per-barrier protocol state.
 struct BarrierNode {
     binding: Binding,
     partition: Option<Binding>,
     episode: u64,
-    rt_last_consist: u64,
+    /// The logical time as of which this processor saw the barrier's data
+    /// consistent (the last-seen time RT-style detectors scan from).
+    last_consist: u64,
     released: bool,
 }
 
@@ -63,7 +53,7 @@ pub(crate) struct DsmNode {
     spec: Arc<SystemSpec>,
     pub(crate) store: LocalStore,
     clock: LamportClock,
-    backend: BackendState,
+    detect: Box<dyn WriteDetector>,
     locks: Vec<LockNode>,
     homes: Vec<Option<HomeLock>>,
     barriers: Vec<BarrierNode>,
@@ -72,33 +62,39 @@ pub(crate) struct DsmNode {
     pub(crate) counters: Counters,
 }
 
+/// Builds a [`DetectCx`] from disjoint borrows of a node plus a charging
+/// closure over the simulator handle, and runs `$body` with `$det` bound
+/// to the detector. A macro (not a method) so the borrow checker sees the
+/// field-level split: the detector never aliases the context it receives.
+macro_rules! with_detector {
+    ($node:expr, $h:expr, |$det:ident, $cx:ident| $body:expr) => {{
+        let node = &mut *$node;
+        let h = &mut *$h;
+        let mut charge = |cat: Category, cycles: u64| h.charge(cat, cycles);
+        let mut $cx = DetectCx {
+            store: &mut node.store,
+            spec: node.spec.as_ref(),
+            cost: node.cfg.cost,
+            clock: &mut node.clock,
+            counters: &mut node.counters,
+            charge: &mut charge,
+        };
+        let $det = &mut *node.detect;
+        $body
+    }};
+}
+pub(crate) use with_detector;
+
 impl DsmNode {
     pub fn new(me: usize, cfg: MidwayConfig, spec: Arc<SystemSpec>) -> DsmNode {
         let procs = cfg.procs;
-        let layout = Arc::clone(&spec.layout);
-        let backend = match cfg.backend {
-            BackendKind::None => BackendState::None,
-            BackendKind::Rt => BackendState::Rt {
-                dirty: rt::DirtyMap::new(&layout),
-            },
-            BackendKind::Vm => BackendState::Vm {
-                pages: PageTable::new(Arc::clone(&layout)),
-            },
-            BackendKind::Blast => BackendState::Blast,
-            BackendKind::TwinAll => BackendState::TwinAll {
-                twins: HashMap::new(),
-            },
-        };
+        let detect = cfg.backend.new_detector(&cfg, &spec);
         let locks = spec
             .locks
             .iter()
             .map(|b| LockNode {
                 binding: b.clone(),
                 held: None,
-                rt_last_seen: midway_mem::EPOCH,
-                vm_last_seen: (0, 0),
-                vm_incarnation: 0,
-                vm_history: vm::LockHistory::new(cfg.history_cap),
             })
             .collect();
         let homes = (0..spec.locks.len())
@@ -114,7 +110,7 @@ impl DsmNode {
                 binding: b.clone(),
                 partition: parts.as_ref().map(|p| p[me].clone()),
                 episode: 0,
-                rt_last_consist: midway_mem::EPOCH,
+                last_consist: midway_mem::EPOCH,
                 released: false,
             })
             .collect();
@@ -128,9 +124,9 @@ impl DsmNode {
             me,
             procs,
             cfg,
-            store: LocalStore::new(layout),
+            store: LocalStore::new(Arc::clone(&spec.layout)),
             clock: LamportClock::new(),
-            backend,
+            detect,
             locks,
             homes,
             barriers,
@@ -154,162 +150,16 @@ impl DsmNode {
         self.pump_until(h, |n| !n.tick_pending);
     }
 
-    // ------------------------------------------------------------------
-    // Write trapping (paper §3.1 / §3.3)
-    // ------------------------------------------------------------------
-
-    /// Traps a store of `len` bytes at `addr` *before* the data is written.
+    /// Traps a store of `len` bytes at `addr` *before* the data is written
+    /// (paper §3.1 / §3.3; the mechanism is the detector's).
     pub fn trap_write(&mut self, h: &mut ProcHandle<DsmMsg>, addr: Addr, len: usize) {
-        match &mut self.backend {
-            BackendState::None | BackendState::Blast | BackendState::TwinAll { .. } => {}
-            BackendState::Rt { dirty } => {
-                let desc = self.spec.layout.region_of(addr);
-                let template = self.spec.templates[desc.id].expect("allocated region has template");
-                let bits = dirty.bits_mut(&self.spec.layout, desc.id);
-                let hit = template.invoke(
-                    bits,
-                    addr,
-                    midway_mem::StoreKind::of_len(len),
-                    &self.cfg.cost,
-                );
-                h.charge(Category::WriteTrap, hit.cycles);
-                if hit.misclassified {
-                    self.counters.dirtybits_misclassified += 1;
-                } else {
-                    self.counters.dirtybits_set += hit.lines_marked;
-                }
-            }
-            BackendState::Vm { pages } => {
-                let desc = self.spec.layout.region_of(addr);
-                if desc.class == MemClass::Private {
-                    return;
-                }
-                let first = addr.page_in_region();
-                let last = Addr(addr.raw() + len.max(1) as u64 - 1).page_in_region();
-                for page in first..=last {
-                    if pages.store_probe(desc.id, page) == midway_mem::WriteAccess::Fault {
-                        let offset = page << PAGE_SHIFT;
-                        let plen = PAGE_SIZE.min(desc.used - offset);
-                        let snapshot = self.store.bytes(desc.base() + offset as u64, plen).to_vec();
-                        pages.fault_in(desc.id, page, &snapshot);
-                        h.charge(Category::WriteTrap, self.cfg.cost.page_write_fault);
-                        self.counters.write_faults += 1;
-                    }
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Locks
-    // ------------------------------------------------------------------
-
-    /// Acquires `lock` in `mode`, blocking until granted and consistent.
-    pub fn acquire(&mut self, h: &mut ProcHandle<DsmMsg>, lock: LockId, mode: Mode) {
-        let idx = lock.0 as usize;
-        assert!(
-            self.locks[idx].held.is_none(),
-            "proc {} re-acquiring held lock {lock:?}",
-            self.me
-        );
-        self.clock.tick();
-        let seen = self.seen_token(idx);
-        let home = lock.home(self.procs);
-        if home == self.me {
-            let transfers = self.homes[idx]
-                .as_mut()
-                .expect("home state exists")
-                .acquire(self.me, mode, seen);
-            self.do_transfers(h, lock, transfers);
-        } else {
-            let msg = DsmMsg::AcquireReq { lock, mode, seen };
-            let size = msg.wire_size();
-            h.send(home, msg, size);
-        }
-        self.pump_until(h, |n| n.locks[idx].held.is_some());
-        self.counters.lock_acquires += 1;
-    }
-
-    /// Releases `lock`. Local and asynchronous, as in Midway: data moves
-    /// only when another processor asks for it.
-    pub fn release(&mut self, h: &mut ProcHandle<DsmMsg>, lock: LockId, mode: Mode) {
-        let idx = lock.0 as usize;
-        assert_eq!(
-            self.locks[idx].held,
-            Some(mode),
-            "proc {} releasing lock {lock:?} it does not hold in that mode",
-            self.me
-        );
-        self.locks[idx].held = None;
-        self.clock.tick();
-        let home = lock.home(self.procs);
-        if home == self.me {
-            let transfers = self.homes[idx]
-                .as_mut()
-                .expect("home state exists")
-                .release(self.me, mode);
-            self.do_transfers(h, lock, transfers);
-        } else {
-            let msg = DsmMsg::ReleaseNotify { lock, mode };
-            let size = msg.wire_size();
-            h.send(home, msg, size);
-        }
-    }
-
-    /// Rebinds `lock` to `ranges`. The caller must hold it exclusively.
-    pub fn rebind(&mut self, lock: LockId, ranges: Vec<midway_mem::AddrRange>) {
-        let idx = lock.0 as usize;
-        assert_eq!(
-            self.locks[idx].held,
-            Some(Mode::Exclusive),
-            "rebinding requires exclusive ownership"
-        );
-        self.locks[idx].binding.rebind(ranges);
-        if matches!(self.backend, BackendState::Vm { .. }) {
-            // Old updates describe ranges that may no longer be bound; the
-            // version bump forces the next transfer to ship full data.
-            self.locks[idx].vm_history.clear();
-        }
+        with_detector!(self, h, |det, cx| det.trap_write(&mut cx, addr, len));
     }
 
     /// The binding this node currently knows for `lock`.
     pub fn binding(&self, lock: LockId) -> &Binding {
         &self.locks[lock.0 as usize].binding
     }
-
-    // ------------------------------------------------------------------
-    // Barriers
-    // ------------------------------------------------------------------
-
-    /// Crosses `barrier`: ships local modifications of the bound data,
-    /// waits for everyone, applies everyone else's.
-    pub fn barrier(&mut self, h: &mut ProcHandle<DsmMsg>, barrier: BarrierId) {
-        let idx = barrier.0 as usize;
-        self.clock.tick();
-        let set = self.collect_barrier(h, idx);
-        self.counters.data_bytes_sent += set.data_bytes();
-        let mgr = barrier.manager(self.procs);
-        let time = self.clock.now();
-        if mgr == self.me {
-            self.handle_barrier_arrive(h, barrier, self.me, set, time);
-        } else {
-            // Packet construction for the shipped data.
-            h.charge(
-                Category::Protocol,
-                self.cfg.cost.copy_cycles(set.data_bytes() as usize, true),
-            );
-            let msg = DsmMsg::BarrierArrive { barrier, set, time };
-            let size = msg.wire_size();
-            h.send(mgr, msg, size);
-        }
-        self.pump_until(h, |n| n.barriers[idx].released);
-        self.barriers[idx].released = false;
-        self.counters.barrier_waits += 1;
-    }
-
-    // ------------------------------------------------------------------
-    // Engine
-    // ------------------------------------------------------------------
 
     /// Serves protocol messages until `done` holds.
     fn pump_until(&mut self, h: &mut ProcHandle<DsmMsg>, done: impl Fn(&DsmNode) -> bool) {
@@ -370,666 +220,4 @@ impl DsmNode {
             }
         }
     }
-
-    /// Executes the transfers a home decision produced.
-    fn do_transfers(
-        &mut self,
-        h: &mut ProcHandle<DsmMsg>,
-        lock: LockId,
-        transfers: Vec<midway_proto::Transfer>,
-    ) {
-        for t in transfers {
-            if t.old_owner == t.requester {
-                // The requester's cache is already current: no data moves.
-                if t.requester == self.me {
-                    self.locks[lock.0 as usize].held = Some(t.mode);
-                } else {
-                    let msg = DsmMsg::Grant {
-                        lock,
-                        mode: t.mode,
-                        payload: GrantPayload::Current,
-                    };
-                    let size = msg.wire_size();
-                    h.send(t.requester, msg, size);
-                }
-            } else if t.old_owner == self.me {
-                let payload = self.collect_for(h, lock, t.seen);
-                self.send_grant(h, lock, t.mode, t.requester, payload);
-            } else {
-                let msg = DsmMsg::TransferReq {
-                    lock,
-                    requester: t.requester,
-                    mode: t.mode,
-                    seen: t.seen,
-                };
-                let size = msg.wire_size();
-                h.send(t.old_owner, msg, size);
-            }
-        }
-    }
-
-    fn send_grant(
-        &mut self,
-        h: &mut ProcHandle<DsmMsg>,
-        lock: LockId,
-        mode: Mode,
-        requester: usize,
-        payload: GrantPayload,
-    ) {
-        debug_assert_ne!(requester, self.me);
-        self.counters.data_bytes_sent += payload.data_bytes();
-        // Packet construction for the shipped data.
-        h.charge(
-            Category::Protocol,
-            self.cfg
-                .cost
-                .copy_cycles(payload.data_bytes() as usize, true),
-        );
-        let msg = DsmMsg::Grant {
-            lock,
-            mode,
-            payload,
-        };
-        let size = msg.wire_size();
-        h.send(requester, msg, size);
-    }
-
-    // ------------------------------------------------------------------
-    // Write collection (paper §3.2 / §3.4)
-    // ------------------------------------------------------------------
-
-    fn seen_token(&self, idx: usize) -> (u64, u64) {
-        let st = &self.locks[idx];
-        match self.cfg.backend {
-            BackendKind::Rt => (st.rt_last_seen, st.binding.version()),
-            BackendKind::Vm => st.vm_last_seen,
-            BackendKind::TwinAll => st.vm_last_seen,
-            _ => (0, 0),
-        }
-    }
-
-    /// Runs write collection as the owner of record on behalf of a
-    /// requester whose last-seen token is `seen`.
-    fn collect_for(
-        &mut self,
-        h: &mut ProcHandle<DsmMsg>,
-        lock: LockId,
-        seen: (u64, u64),
-    ) -> GrantPayload {
-        let idx = lock.0 as usize;
-        self.counters.lock_transfers_served += 1;
-        let cost = self.cfg.cost;
-        match &mut self.backend {
-            BackendState::None => {
-                unreachable!("standalone runs never transfer data")
-            }
-            BackendState::Rt { dirty } => {
-                let now = self.clock.tick();
-                let st = &self.locks[idx];
-                // A requester with a stale binding has never seen the
-                // rebound ranges: scan from the epoch — its per-line
-                // timestamps still filter duplicates on application.
-                let last_seen = if seen.1 == st.binding.version() {
-                    seen.0
-                } else {
-                    midway_mem::EPOCH
-                };
-                let scan = rt::collect(
-                    &mut self.store,
-                    dirty,
-                    &self.spec.layout,
-                    &st.binding,
-                    last_seen,
-                    now,
-                );
-                h.charge(
-                    Category::WriteCollect,
-                    scan.clean_reads * cost.dirtybit_read_clean
-                        + scan.dirty_reads * cost.dirtybit_read_dirty,
-                );
-                self.counters.clean_dirtybits_read += scan.clean_reads;
-                self.counters.dirty_dirtybits_read += scan.dirty_reads;
-                GrantPayload::Rt {
-                    set: scan.set,
-                    consist_time: now,
-                    binding: st.binding.clone(),
-                }
-            }
-            BackendState::Vm { pages } => {
-                let st = &mut self.locks[idx];
-                st.vm_incarnation = st.vm_history.newest().unwrap_or(st.vm_incarnation) + 1;
-                if seen.1 != st.binding.version() {
-                    // The requester's binding is stale (the lock was
-                    // rebound): "the incarnation number is incremented
-                    // which causes all data bound to the lock to be sent
-                    // without performing a diff" (paper §4, quicksort).
-                    let binding = st.binding.clone();
-                    let incarnation = st.vm_incarnation;
-                    let full = vm::snapshot(&mut self.store, &binding);
-                    self.counters.full_data_sends += 1;
-                    h.charge(
-                        Category::Protocol,
-                        cost.copy_cycles(full.data_bytes() as usize, false),
-                    );
-                    let st = &mut self.locks[idx];
-                    st.vm_history.clear();
-                    st.vm_history.push(Update {
-                        incarnation,
-                        set: full.clone(),
-                        full: true,
-                    });
-                    return GrantPayload::Vm {
-                        updates: Vec::new(),
-                        full: Some(full),
-                        incarnation,
-                        binding,
-                    };
-                }
-                let col = vm::collect(&mut self.store, pages, &self.spec.layout, &st.binding);
-                for (runs, words) in &col.diff_runs {
-                    h.charge(Category::WriteCollect, cost.page_diff_cycles(*runs, *words));
-                }
-                h.charge(Category::WriteCollect, col.pages_cleaned * cost.protect_ro);
-                self.counters.pages_diffed += col.pages_diffed;
-                self.counters.pages_write_protected += col.pages_cleaned;
-                st.vm_history.push(Update {
-                    incarnation: st.vm_incarnation,
-                    set: col.update,
-                    full: false,
-                });
-
-                let binding = st.binding.clone();
-                let bound_bytes = binding.data_bytes();
-                let chain = if seen.1 == binding.version() {
-                    st.vm_history.since(seen.0)
-                } else {
-                    None
-                };
-                let updates_ok = chain.as_ref().is_some_and(|us| {
-                    us.iter().map(|u| u.set.data_bytes()).sum::<u64>() <= bound_bytes
-                });
-                if updates_ok {
-                    GrantPayload::Vm {
-                        updates: chain.expect("checked above"),
-                        full: None,
-                        incarnation: st.vm_incarnation,
-                        binding,
-                    }
-                } else {
-                    // History cannot serve this requester (or the
-                    // concatenated updates exceed the data): full send. The
-                    // snapshot subsumes all earlier incarnations, so it
-                    // also becomes the base of this owner's history —
-                    // otherwise one full send would beget full sends
-                    // forever.
-                    let full = vm::snapshot(&mut self.store, &binding);
-                    self.counters.full_data_sends += 1;
-                    h.charge(
-                        Category::Protocol,
-                        cost.copy_cycles(full.data_bytes() as usize, false),
-                    );
-                    let st = &mut self.locks[idx];
-                    st.vm_history.clear();
-                    st.vm_history.push(Update {
-                        incarnation: st.vm_incarnation,
-                        set: full.clone(),
-                        full: true,
-                    });
-                    GrantPayload::Vm {
-                        updates: Vec::new(),
-                        full: Some(full),
-                        incarnation: self.locks[idx].vm_incarnation,
-                        binding: self.locks[idx].binding.clone(),
-                    }
-                }
-            }
-            BackendState::Blast => {
-                let st = &self.locks[idx];
-                let set = blast::snapshot(&mut self.store, &st.binding);
-                self.counters.full_data_sends += 1;
-                h.charge(
-                    Category::Protocol,
-                    cost.copy_cycles(set.data_bytes() as usize, false),
-                );
-                GrantPayload::Flat {
-                    set,
-                    binding: st.binding.clone(),
-                }
-            }
-            BackendState::TwinAll { twins } => {
-                // §3.5: "this approach would still require management of
-                // the update incarnations to ensure that a chain of
-                // processor updates are correctly propagated" — so TwinAll
-                // keeps the same per-lock incarnation history as VM-DSM.
-                let st = &mut self.locks[idx];
-                st.vm_incarnation = st.vm_history.newest().unwrap_or(st.vm_incarnation) + 1;
-                let set = twin_all_collect(
-                    twins,
-                    &mut self.store,
-                    &self.spec,
-                    &st.binding,
-                    &cost,
-                    h,
-                    &mut self.counters,
-                );
-                let st = &mut self.locks[idx];
-                st.vm_history.push(Update {
-                    incarnation: st.vm_incarnation,
-                    set,
-                    full: false,
-                });
-                let binding = st.binding.clone();
-                let bound_bytes = binding.data_bytes();
-                let chain = if seen.1 == binding.version() {
-                    st.vm_history.since(seen.0)
-                } else {
-                    None
-                };
-                let updates_ok = chain.as_ref().is_some_and(|us| {
-                    us.iter().map(|u| u.set.data_bytes()).sum::<u64>() <= bound_bytes
-                });
-                if updates_ok {
-                    GrantPayload::Vm {
-                        updates: chain.expect("checked above"),
-                        full: None,
-                        incarnation: self.locks[idx].vm_incarnation,
-                        binding,
-                    }
-                } else {
-                    let full = vm::snapshot(&mut self.store, &binding);
-                    self.counters.full_data_sends += 1;
-                    h.charge(
-                        Category::Protocol,
-                        cost.copy_cycles(full.data_bytes() as usize, false),
-                    );
-                    let st = &mut self.locks[idx];
-                    st.vm_history.clear();
-                    st.vm_history.push(Update {
-                        incarnation: st.vm_incarnation,
-                        set: full.clone(),
-                        full: true,
-                    });
-                    GrantPayload::Vm {
-                        updates: Vec::new(),
-                        full: Some(full),
-                        incarnation: self.locks[idx].vm_incarnation,
-                        binding,
-                    }
-                }
-            }
-        }
-    }
-
-    /// Applies a grant's payload and marks the lock held.
-    fn apply_grant(
-        &mut self,
-        h: &mut ProcHandle<DsmMsg>,
-        lock: LockId,
-        mode: Mode,
-        payload: GrantPayload,
-    ) {
-        let idx = lock.0 as usize;
-        let cost = self.cfg.cost;
-        match payload {
-            GrantPayload::Current => {}
-            GrantPayload::Rt {
-                set,
-                consist_time,
-                binding,
-            } => {
-                let BackendState::Rt { dirty } = &mut self.backend else {
-                    panic!("RT grant on non-RT node");
-                };
-                let res = rt::apply(&mut self.store, dirty, &self.spec.layout, &set);
-                h.charge(
-                    Category::WriteCollect,
-                    res.dirtybits_updated * cost.dirtybit_update
-                        + cost.copy_cycles(res.bytes_applied as usize, true),
-                );
-                self.counters.dirtybits_updated += res.dirtybits_updated;
-                self.counters.data_bytes_received += set.data_bytes();
-                self.counters.redundant_bytes_received += res.bytes_redundant;
-                let st = &mut self.locks[idx];
-                st.rt_last_seen = consist_time;
-                st.binding.install(binding);
-                self.clock.observe(consist_time);
-            }
-            GrantPayload::Vm {
-                updates,
-                full,
-                incarnation,
-                binding,
-            } => {
-                // Shared by the VM and TwinAll backends (TwinAll manages
-                // incarnations the same way, per §3.5).
-                let mut applied = vm::VmApply::default();
-                let mut received = 0;
-                {
-                    let sets = full
-                        .iter()
-                        .chain(updates.iter().map(|u| &u.set))
-                        .collect::<Vec<_>>();
-                    for set in sets {
-                        received += set.data_bytes();
-                        match &mut self.backend {
-                            BackendState::Vm { pages } => {
-                                let a = vm::apply(&mut self.store, pages, set);
-                                applied.bytes_applied += a.bytes_applied;
-                                applied.twin_bytes_updated += a.twin_bytes_updated;
-                            }
-                            BackendState::TwinAll { twins } => {
-                                let bytes = twin_all_apply(twins, &mut self.store, &self.spec, set);
-                                applied.bytes_applied += bytes;
-                                applied.twin_bytes_updated += bytes;
-                            }
-                            _ => panic!("VM grant on incompatible node"),
-                        }
-                    }
-                }
-                h.charge(
-                    Category::WriteCollect,
-                    cost.copy_cycles(applied.bytes_applied as usize, true)
-                        + cost.copy_cycles(applied.twin_bytes_updated as usize, true),
-                );
-                self.counters.data_bytes_received += received;
-                self.counters.twin_bytes_updated += applied.twin_bytes_updated;
-                let st = &mut self.locks[idx];
-                st.binding.install(binding);
-                st.vm_last_seen = (incarnation, st.binding.version());
-                st.vm_incarnation = incarnation;
-                if let Some(full) = full {
-                    // The full snapshot stands in for the whole history.
-                    st.vm_history.clear();
-                    st.vm_history.push(Update {
-                        incarnation,
-                        set: full,
-                        full: true,
-                    });
-                } else {
-                    st.vm_history.absorb(&updates);
-                }
-            }
-            GrantPayload::Flat { set, binding } => {
-                let bytes = match &mut self.backend {
-                    BackendState::Blast => blast::apply(&mut self.store, &set),
-                    BackendState::TwinAll { twins } => {
-                        twin_all_apply(twins, &mut self.store, &self.spec, &set)
-                    }
-                    _ => panic!("flat grant on incompatible node"),
-                };
-                h.charge(
-                    Category::WriteCollect,
-                    cost.copy_cycles(bytes as usize, true),
-                );
-                self.counters.data_bytes_received += bytes;
-                self.locks[idx].binding.install(binding);
-            }
-        }
-        self.locks[idx].held = Some(mode);
-    }
-
-    // ------------------------------------------------------------------
-    // Barrier collection / application
-    // ------------------------------------------------------------------
-
-    fn collect_barrier(&mut self, h: &mut ProcHandle<DsmMsg>, idx: usize) -> UpdateSet {
-        let cost = self.cfg.cost;
-        // With a partitioned binding each processor scans only the ranges
-        // it may have written — the discipline the paper's applications
-        // follow ("only data at the edges of each partition are shared").
-        let scan_binding = self.barriers[idx]
-            .partition
-            .clone()
-            .unwrap_or_else(|| self.barriers[idx].binding.clone());
-        match &mut self.backend {
-            BackendState::None => UpdateSet::new(),
-            BackendState::Rt { dirty } => {
-                if scan_binding.ranges().is_empty() {
-                    return UpdateSet::new();
-                }
-                let now = self.clock.tick();
-                let b = &self.barriers[idx];
-                let scan = rt::collect(
-                    &mut self.store,
-                    dirty,
-                    &self.spec.layout,
-                    &scan_binding,
-                    b.rt_last_consist,
-                    now,
-                );
-                h.charge(
-                    Category::WriteCollect,
-                    scan.clean_reads * cost.dirtybit_read_clean
-                        + scan.dirty_reads * cost.dirtybit_read_dirty,
-                );
-                self.counters.clean_dirtybits_read += scan.clean_reads;
-                self.counters.dirty_dirtybits_read += scan.dirty_reads;
-                scan.set
-            }
-            BackendState::Vm { pages } => {
-                if scan_binding.ranges().is_empty() {
-                    return UpdateSet::new();
-                }
-                let col = vm::collect(&mut self.store, pages, &self.spec.layout, &scan_binding);
-                for (runs, words) in &col.diff_runs {
-                    h.charge(Category::WriteCollect, cost.page_diff_cycles(*runs, *words));
-                }
-                h.charge(Category::WriteCollect, col.pages_cleaned * cost.protect_ro);
-                self.counters.pages_diffed += col.pages_diffed;
-                self.counters.pages_write_protected += col.pages_cleaned;
-                col.update
-            }
-            BackendState::Blast => {
-                if scan_binding.ranges().is_empty() {
-                    return UpdateSet::new();
-                }
-                assert!(
-                    self.barriers[idx].partition.is_some(),
-                    "blast backend needs a partitioned barrier binding: \
-                     without write detection it cannot know what this \
-                     processor modified"
-                );
-                let set = blast::snapshot(&mut self.store, &scan_binding);
-                self.counters.full_data_sends += 1;
-                set
-            }
-            BackendState::TwinAll { twins } => {
-                if scan_binding.ranges().is_empty() {
-                    return UpdateSet::new();
-                }
-                twin_all_collect(
-                    twins,
-                    &mut self.store,
-                    &self.spec,
-                    &scan_binding,
-                    &cost,
-                    h,
-                    &mut self.counters,
-                )
-            }
-        }
-    }
-
-    fn handle_barrier_arrive(
-        &mut self,
-        h: &mut ProcHandle<DsmMsg>,
-        barrier: BarrierId,
-        from: usize,
-        set: UpdateSet,
-        time: u64,
-    ) {
-        self.clock.observe(time);
-        let release = self.sites[barrier.0 as usize]
-            .as_mut()
-            .expect("arrive sent to manager")
-            .arrive(from, set);
-        if let Some(release) = release {
-            let now = self.clock.tick();
-            let mut own = UpdateSet::new();
-            for (q, set) in release.per_proc.into_iter().enumerate() {
-                if q == self.me {
-                    own = set;
-                } else {
-                    self.counters.data_bytes_sent += set.data_bytes();
-                    h.charge(
-                        Category::Protocol,
-                        self.cfg.cost.copy_cycles(set.data_bytes() as usize, true),
-                    );
-                    let msg = DsmMsg::BarrierRelease {
-                        barrier,
-                        set,
-                        time: now,
-                    };
-                    let size = msg.wire_size();
-                    h.send(q, msg, size);
-                }
-            }
-            self.finish_barrier(h, barrier, own, now);
-        }
-    }
-
-    fn finish_barrier(
-        &mut self,
-        h: &mut ProcHandle<DsmMsg>,
-        barrier: BarrierId,
-        set: UpdateSet,
-        time: u64,
-    ) {
-        let idx = barrier.0 as usize;
-        let cost = self.cfg.cost;
-        self.counters.data_bytes_received += set.data_bytes();
-        match &mut self.backend {
-            BackendState::None => {}
-            BackendState::Rt { dirty } => {
-                let res = rt::apply(&mut self.store, dirty, &self.spec.layout, &set);
-                h.charge(
-                    Category::WriteCollect,
-                    res.dirtybits_updated * cost.dirtybit_update
-                        + cost.copy_cycles(res.bytes_applied as usize, true),
-                );
-                self.counters.dirtybits_updated += res.dirtybits_updated;
-                self.counters.redundant_bytes_received += res.bytes_redundant;
-            }
-            BackendState::Vm { pages } => {
-                let a = vm::apply(&mut self.store, pages, &set);
-                h.charge(
-                    Category::WriteCollect,
-                    cost.copy_cycles(a.bytes_applied as usize, true)
-                        + cost.copy_cycles(a.twin_bytes_updated as usize, true),
-                );
-                self.counters.twin_bytes_updated += a.twin_bytes_updated;
-            }
-            BackendState::Blast => {
-                let bytes = blast::apply(&mut self.store, &set);
-                h.charge(
-                    Category::WriteCollect,
-                    cost.copy_cycles(bytes as usize, true),
-                );
-            }
-            BackendState::TwinAll { twins } => {
-                let bytes = twin_all_apply(twins, &mut self.store, &self.spec, &set);
-                h.charge(
-                    Category::WriteCollect,
-                    cost.copy_cycles(bytes as usize, true),
-                );
-            }
-        }
-        let node = &mut self.barriers[idx];
-        node.episode += 1;
-        node.released = true;
-        self.clock.observe(time);
-        node.rt_last_consist = self.clock.now();
-    }
-}
-
-// ----------------------------------------------------------------------
-// TwinAll (§3.5 second alternative): twin everything, diff on demand.
-// ----------------------------------------------------------------------
-
-fn twin_all_collect(
-    twins: &mut HashMap<(usize, usize), Box<[u8]>>,
-    store: &mut LocalStore,
-    spec: &SystemSpec,
-    binding: &Binding,
-    cost: &midway_stats::CostModel,
-    h: &mut ProcHandle<DsmMsg>,
-    counters: &mut Counters,
-) -> UpdateSet {
-    let mut set = UpdateSet::new();
-    for (region_id, page_range) in binding.page_spans(&spec.layout) {
-        let desc = spec.layout.region(region_id).expect("bound region exists");
-        for page in page_range {
-            let offset = page << PAGE_SHIFT;
-            let len = PAGE_SIZE.min(desc.used - offset);
-            let page_base = desc.base() + offset as u64;
-            let current = store.bytes(page_base, len).to_vec();
-            let twin = twins.entry((region_id, page)).or_insert_with(|| {
-                // §3.5: the twin logically exists from the moment the data
-                // does; materialize it as the page's initial (zero) state
-                // so local writes made before the first transfer are seen.
-                h.charge(Category::WriteCollect, cost.copy_cycles(len, false));
-                vec![0u8; len].into_boxed_slice()
-            });
-            let diff = midway_mem::diff::PageDiff::compute(&current, twin);
-            h.charge(
-                Category::WriteCollect,
-                cost.page_diff_cycles(diff.run_count(), len / 4),
-            );
-            counters.pages_diffed += 1;
-            let bound = binding.ranges_in_page(region_id, page);
-            let restricted = diff.restrict(&bound);
-            for run in &restricted.runs {
-                set.items.push(UpdateItem {
-                    addr: page_base.raw() + run.offset as u64,
-                    data: run.data.clone(),
-                    ts: 0,
-                });
-            }
-            // Refresh the twin so the next diff is incremental.
-            let end = len.min(twin.len());
-            restricted.apply(&mut twin[..end]);
-        }
-    }
-    set.items.sort_by_key(|i| i.addr);
-    set
-}
-
-fn twin_all_apply(
-    twins: &mut HashMap<(usize, usize), Box<[u8]>>,
-    store: &mut LocalStore,
-    spec: &SystemSpec,
-    set: &UpdateSet,
-) -> u64 {
-    let mut bytes = 0;
-    for item in &set.items {
-        store.write_bytes(Addr(item.addr), &item.data);
-        bytes += item.data.len() as u64;
-        // Patch twins so incoming data is not re-shipped as a local change
-        // (creating the zero-state twin if the page has none yet).
-        let mut pos = 0usize;
-        while pos < item.data.len() {
-            let addr = Addr(item.addr + pos as u64);
-            let region = addr.region_index();
-            let page = addr.page_in_region();
-            let in_page = PAGE_SIZE - addr.page_offset();
-            let chunk = in_page.min(item.data.len() - pos);
-            let plen = PAGE_SIZE.min(
-                spec.layout
-                    .region(region)
-                    .expect("update region exists")
-                    .used
-                    - (page << PAGE_SHIFT),
-            );
-            let twin = twins
-                .entry((region, page))
-                .or_insert_with(|| vec![0u8; plen].into_boxed_slice());
-            let start = addr.page_offset();
-            let end = (start + chunk).min(twin.len());
-            if start < end {
-                twin[start..end].copy_from_slice(&item.data[pos..pos + (end - start)]);
-            }
-            pos += chunk;
-        }
-    }
-    bytes
 }

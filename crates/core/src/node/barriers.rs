@@ -1,0 +1,112 @@
+//! The barrier path: collection on arrival, manager-side merging, and
+//! application on release.
+
+use midway_proto::{BarrierId, UpdateSet};
+use midway_sim::{Category, ProcHandle};
+
+use crate::detect::DetectCx;
+use crate::msg::DsmMsg;
+
+use super::{with_detector, DsmNode};
+
+impl DsmNode {
+    /// Crosses `barrier`: ships local modifications of the bound data,
+    /// waits for everyone, applies everyone else's.
+    pub fn barrier(&mut self, h: &mut ProcHandle<DsmMsg>, barrier: BarrierId) {
+        let idx = barrier.0 as usize;
+        self.clock.tick();
+        let set = self.collect_barrier(h, idx);
+        self.counters.data_bytes_sent += set.data_bytes();
+        let mgr = barrier.manager(self.procs);
+        let time = self.clock.now();
+        if mgr == self.me {
+            self.handle_barrier_arrive(h, barrier, self.me, set, time);
+        } else {
+            // Packet construction for the shipped data.
+            h.charge(
+                Category::Protocol,
+                self.cfg.cost.copy_cycles(set.data_bytes() as usize, true),
+            );
+            let msg = DsmMsg::BarrierArrive { barrier, set, time };
+            let size = msg.wire_size();
+            h.send(mgr, msg, size);
+        }
+        self.pump_until(h, |n| n.barriers[idx].released);
+        self.barriers[idx].released = false;
+        self.counters.barrier_waits += 1;
+    }
+
+    fn collect_barrier(&mut self, h: &mut ProcHandle<DsmMsg>, idx: usize) -> UpdateSet {
+        // With a partitioned binding each processor scans only the ranges
+        // it may have written — the discipline the paper's applications
+        // follow ("only data at the edges of each partition are shared").
+        let b = &self.barriers[idx];
+        let partitioned = b.partition.is_some();
+        let scan = b.partition.clone().unwrap_or_else(|| b.binding.clone());
+        if scan.ranges().is_empty() {
+            return UpdateSet::new();
+        }
+        let last_consist = b.last_consist;
+        with_detector!(self, h, |det, cx| det.collect_barrier(
+            &mut cx,
+            &scan,
+            last_consist,
+            partitioned
+        ))
+    }
+
+    pub(super) fn handle_barrier_arrive(
+        &mut self,
+        h: &mut ProcHandle<DsmMsg>,
+        barrier: BarrierId,
+        from: usize,
+        set: UpdateSet,
+        time: u64,
+    ) {
+        self.clock.observe(time);
+        let release = self.sites[barrier.0 as usize]
+            .as_mut()
+            .expect("arrive sent to manager")
+            .arrive(from, set);
+        if let Some(release) = release {
+            let now = self.clock.tick();
+            let mut own = UpdateSet::new();
+            for (q, set) in release.per_proc.into_iter().enumerate() {
+                if q == self.me {
+                    own = set;
+                } else {
+                    self.counters.data_bytes_sent += set.data_bytes();
+                    h.charge(
+                        Category::Protocol,
+                        self.cfg.cost.copy_cycles(set.data_bytes() as usize, true),
+                    );
+                    let msg = DsmMsg::BarrierRelease {
+                        barrier,
+                        set,
+                        time: now,
+                    };
+                    let size = msg.wire_size();
+                    h.send(q, msg, size);
+                }
+            }
+            self.finish_barrier(h, barrier, own, now);
+        }
+    }
+
+    pub(super) fn finish_barrier(
+        &mut self,
+        h: &mut ProcHandle<DsmMsg>,
+        barrier: BarrierId,
+        set: UpdateSet,
+        time: u64,
+    ) {
+        let idx = barrier.0 as usize;
+        self.counters.data_bytes_received += set.data_bytes();
+        with_detector!(self, h, |det, cx| det.apply_barrier(&mut cx, &set));
+        let node = &mut self.barriers[idx];
+        node.episode += 1;
+        node.released = true;
+        self.clock.observe(time);
+        node.last_consist = self.clock.now();
+    }
+}

@@ -1,0 +1,74 @@
+//! The lock path: acquire, release, and dynamic rebinding.
+
+use midway_proto::{LockId, Mode};
+use midway_sim::ProcHandle;
+
+use crate::msg::DsmMsg;
+
+use super::DsmNode;
+
+impl DsmNode {
+    /// Acquires `lock` in `mode`, blocking until granted and consistent.
+    pub fn acquire(&mut self, h: &mut ProcHandle<DsmMsg>, lock: LockId, mode: Mode) {
+        let idx = lock.0 as usize;
+        assert!(
+            self.locks[idx].held.is_none(),
+            "proc {} re-acquiring held lock {lock:?}",
+            self.me
+        );
+        self.clock.tick();
+        let seen = self.detect.seen_token(idx, &self.locks[idx].binding);
+        let home = lock.home(self.procs);
+        if home == self.me {
+            let transfers = self.homes[idx]
+                .as_mut()
+                .expect("home state exists")
+                .acquire(self.me, mode, seen);
+            self.do_transfers(h, lock, transfers);
+        } else {
+            let msg = DsmMsg::AcquireReq { lock, mode, seen };
+            let size = msg.wire_size();
+            h.send(home, msg, size);
+        }
+        self.pump_until(h, |n| n.locks[idx].held.is_some());
+        self.counters.lock_acquires += 1;
+    }
+
+    /// Releases `lock`. Local and asynchronous, as in Midway: data moves
+    /// only when another processor asks for it.
+    pub fn release(&mut self, h: &mut ProcHandle<DsmMsg>, lock: LockId, mode: Mode) {
+        let idx = lock.0 as usize;
+        assert_eq!(
+            self.locks[idx].held,
+            Some(mode),
+            "proc {} releasing lock {lock:?} it does not hold in that mode",
+            self.me
+        );
+        self.locks[idx].held = None;
+        self.clock.tick();
+        let home = lock.home(self.procs);
+        if home == self.me {
+            let transfers = self.homes[idx]
+                .as_mut()
+                .expect("home state exists")
+                .release(self.me, mode);
+            self.do_transfers(h, lock, transfers);
+        } else {
+            let msg = DsmMsg::ReleaseNotify { lock, mode };
+            let size = msg.wire_size();
+            h.send(home, msg, size);
+        }
+    }
+
+    /// Rebinds `lock` to `ranges`. The caller must hold it exclusively.
+    pub fn rebind(&mut self, lock: LockId, ranges: Vec<midway_mem::AddrRange>) {
+        let idx = lock.0 as usize;
+        assert_eq!(
+            self.locks[idx].held,
+            Some(Mode::Exclusive),
+            "rebinding requires exclusive ownership"
+        );
+        self.locks[idx].binding.rebind(ranges);
+        self.detect.on_rebind(idx);
+    }
+}

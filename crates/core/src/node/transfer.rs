@@ -1,0 +1,116 @@
+//! The grant/transfer path: routing home decisions, running write
+//! collection at the owner of record, and applying grants at the
+//! requester (paper §3.2 / §3.4 — through the detector).
+
+use midway_proto::{LockId, Mode, SeenToken};
+use midway_sim::{Category, ProcHandle};
+
+use crate::detect::DetectCx;
+use crate::msg::{DsmMsg, GrantPayload};
+
+use super::{with_detector, DsmNode};
+
+impl DsmNode {
+    /// Executes the transfers a home decision produced.
+    pub(super) fn do_transfers(
+        &mut self,
+        h: &mut ProcHandle<DsmMsg>,
+        lock: LockId,
+        transfers: Vec<midway_proto::Transfer>,
+    ) {
+        for t in transfers {
+            if t.old_owner == t.requester {
+                // The requester's cache is already current: no data moves.
+                if t.requester == self.me {
+                    self.locks[lock.0 as usize].held = Some(t.mode);
+                } else {
+                    let msg = DsmMsg::Grant {
+                        lock,
+                        mode: t.mode,
+                        payload: GrantPayload::Current,
+                    };
+                    let size = msg.wire_size();
+                    h.send(t.requester, msg, size);
+                }
+            } else if t.old_owner == self.me {
+                let payload = self.collect_for(h, lock, t.seen);
+                self.send_grant(h, lock, t.mode, t.requester, payload);
+            } else {
+                let msg = DsmMsg::TransferReq {
+                    lock,
+                    requester: t.requester,
+                    mode: t.mode,
+                    seen: t.seen,
+                };
+                let size = msg.wire_size();
+                h.send(t.old_owner, msg, size);
+            }
+        }
+    }
+
+    /// Runs write collection as the owner of record on behalf of a
+    /// requester whose last-seen token is `seen`.
+    pub(super) fn collect_for(
+        &mut self,
+        h: &mut ProcHandle<DsmMsg>,
+        lock: LockId,
+        seen: SeenToken,
+    ) -> GrantPayload {
+        let idx = lock.0 as usize;
+        self.counters.lock_transfers_served += 1;
+        let binding = self.locks[idx].binding.clone();
+        with_detector!(self, h, |det, cx| det
+            .collect_for(&mut cx, idx, &binding, seen))
+    }
+
+    pub(super) fn send_grant(
+        &mut self,
+        h: &mut ProcHandle<DsmMsg>,
+        lock: LockId,
+        mode: Mode,
+        requester: usize,
+        payload: GrantPayload,
+    ) {
+        debug_assert_ne!(requester, self.me);
+        self.counters.data_bytes_sent += payload.data_bytes();
+        // Packet construction for the shipped data.
+        h.charge(
+            Category::Protocol,
+            self.cfg
+                .cost
+                .copy_cycles(payload.data_bytes() as usize, true),
+        );
+        let msg = DsmMsg::Grant {
+            lock,
+            mode,
+            payload,
+        };
+        let size = msg.wire_size();
+        h.send(requester, msg, size);
+    }
+
+    /// Applies a grant's payload and marks the lock held.
+    pub(super) fn apply_grant(
+        &mut self,
+        h: &mut ProcHandle<DsmMsg>,
+        lock: LockId,
+        mode: Mode,
+        payload: GrantPayload,
+    ) {
+        let idx = lock.0 as usize;
+        self.counters.data_bytes_received += payload.data_bytes();
+        if !matches!(payload, GrantPayload::Current) {
+            // Temporarily detach the binding so the detector can install
+            // the payload's binding without aliasing the node.
+            let mut binding = std::mem::take(&mut self.locks[idx].binding);
+            with_detector!(self, h, |det, cx| det.apply_update(
+                &mut cx,
+                idx,
+                &mut binding,
+                payload
+            ));
+            self.locks[idx].binding = binding;
+        }
+        self.locks[idx].held = Some(mode);
+    }
+}

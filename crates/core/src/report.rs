@@ -23,6 +23,12 @@ pub fn trapping_millis(kind: BackendKind, avg: &AvgCounters, cost: &CostModel) -
                 + avg.avg(|c| c.dirtybits_misclassified) * cost.dirtybit_set_private as f64
         }
         BackendKind::Vm => avg.avg(|c| c.write_faults) * cost.page_write_fault as f64,
+        // Hybrid traps through both mechanisms, each region through one.
+        BackendKind::Hybrid => {
+            avg.avg(|c| c.dirtybits_set) * cost.dirtybit_set_word as f64
+                + avg.avg(|c| c.dirtybits_misclassified) * cost.dirtybit_set_private as f64
+                + avg.avg(|c| c.write_faults) * cost.page_write_fault as f64
+        }
         _ => 0.0,
     };
     cycles / cost.mhz as f64 / 1_000.0
@@ -70,21 +76,20 @@ pub fn collection_millis(
 ) -> CollectionBreakdown {
     let to_ms = |cycles: f64| cycles / cost.mhz as f64 / 1_000.0;
     let mut b = CollectionBreakdown::default();
-    match kind {
-        BackendKind::Rt => {
-            b.rt_clean_reads_ms =
-                avg.avg(|c| c.clean_dirtybits_read) * cost.dirtybit_read_clean_us / 1_000.0;
-            b.rt_dirty_reads_ms =
-                avg.avg(|c| c.dirty_dirtybits_read) * cost.dirtybit_read_dirty_us / 1_000.0;
-            b.rt_updates_ms = avg.avg(|c| c.dirtybits_updated) * cost.dirtybit_update_us / 1_000.0;
-        }
-        BackendKind::Vm => {
-            b.vm_diff_ms = avg.avg(|c| c.pages_diffed) * cost.page_diff_uniform_us / 1_000.0;
-            b.vm_protect_ms = to_ms(avg.avg(|c| c.pages_write_protected) * cost.protect_ro as f64);
-            b.vm_twin_ms =
-                to_ms(avg.avg(|c| c.twin_bytes_updated) / 1024.0 * cost.copy_per_kb_warm as f64);
-        }
-        _ => {}
+    // Hybrid collection harvests page diffs into the dirtybit scan, so its
+    // cost is the sum of both backends' rows.
+    if matches!(kind, BackendKind::Rt | BackendKind::Hybrid) {
+        b.rt_clean_reads_ms =
+            avg.avg(|c| c.clean_dirtybits_read) * cost.dirtybit_read_clean_us / 1_000.0;
+        b.rt_dirty_reads_ms =
+            avg.avg(|c| c.dirty_dirtybits_read) * cost.dirtybit_read_dirty_us / 1_000.0;
+        b.rt_updates_ms = avg.avg(|c| c.dirtybits_updated) * cost.dirtybit_update_us / 1_000.0;
+    }
+    if matches!(kind, BackendKind::Vm | BackendKind::Hybrid) {
+        b.vm_diff_ms = avg.avg(|c| c.pages_diffed) * cost.page_diff_uniform_us / 1_000.0;
+        b.vm_protect_ms = to_ms(avg.avg(|c| c.pages_write_protected) * cost.protect_ro as f64);
+        b.vm_twin_ms =
+            to_ms(avg.avg(|c| c.twin_bytes_updated) / 1024.0 * cost.copy_per_kb_warm as f64);
     }
     b
 }

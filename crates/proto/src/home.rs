@@ -291,6 +291,109 @@ mod tests {
         l.release(2, Mode::Exclusive);
     }
 
+    #[test]
+    fn reacquire_while_holding_queues_until_release() {
+        // A re-entrant exclusive acquire is not granted while the first
+        // hold is outstanding — it waits its turn like any other request.
+        let mut l = HomeLock::new(0);
+        assert_eq!(l.acquire(1, Mode::Exclusive, SEEN).len(), 1);
+        assert!(l.acquire(1, Mode::Exclusive, SEEN).is_empty());
+        let t = l.release(1, Mode::Exclusive);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].requester, 1);
+        assert_eq!(t[0].old_owner, 1, "re-grant transfers from itself");
+        assert!(l.held_exclusive());
+    }
+
+    #[test]
+    fn exclusive_to_shared_grants_reader_batch_from_last_writer() {
+        // Downgrade transition: when the writer releases, every queued
+        // reader is granted in one drain, each transferring from the
+        // writer (the owner of record), in FIFO order.
+        let mut l = HomeLock::new(0);
+        l.acquire(1, Mode::Exclusive, SEEN);
+        assert!(l.acquire(2, Mode::Shared, SEEN).is_empty());
+        assert!(l.acquire(3, Mode::Shared, SEEN).is_empty());
+        assert!(l.acquire(4, Mode::Shared, SEEN).is_empty());
+        let t = l.release(1, Mode::Exclusive);
+        assert_eq!(
+            t.iter().map(|t| t.requester).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "readers batch in arrival order"
+        );
+        assert!(t.iter().all(|t| t.old_owner == 1));
+        assert_eq!(l.readers(), 3);
+        assert_eq!(
+            l.owner(),
+            1,
+            "shared grants leave ownership with the writer"
+        );
+    }
+
+    #[test]
+    fn shared_to_exclusive_waits_for_every_reader() {
+        // Upgrade transition: the writer is granted only when the last
+        // reader leaves, and then takes ownership of record.
+        let mut l = HomeLock::new(0);
+        l.acquire(1, Mode::Shared, SEEN);
+        l.acquire(2, Mode::Shared, SEEN);
+        assert!(l.acquire(3, Mode::Exclusive, SEEN).is_empty());
+        assert!(l.release(1, Mode::Shared).is_empty(), "one reader remains");
+        let t = l.release(2, Mode::Shared);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].requester, 3);
+        assert_eq!(
+            t[0].old_owner, 0,
+            "data still comes from the owner of record"
+        );
+        assert_eq!(l.owner(), 3);
+    }
+
+    #[test]
+    fn mixed_queue_preserves_fifo_transfer_order() {
+        // Queue [S2, E3, S4, E5] behind writer 1: each drain stops at the
+        // first ungrantable request, so the grants replay in exactly
+        // arrival order with the right owner of record each time.
+        let mut l = HomeLock::new(0);
+        l.acquire(1, Mode::Exclusive, SEEN);
+        l.acquire(2, Mode::Shared, SEEN);
+        l.acquire(3, Mode::Exclusive, SEEN);
+        l.acquire(4, Mode::Shared, SEEN);
+        l.acquire(5, Mode::Exclusive, SEEN);
+        let mut order = Vec::new();
+        for t in l.release(1, Mode::Exclusive) {
+            order.push((t.requester, t.mode, t.old_owner));
+        }
+        for t in l.release(2, Mode::Shared) {
+            order.push((t.requester, t.mode, t.old_owner));
+        }
+        for t in l.release(3, Mode::Exclusive) {
+            order.push((t.requester, t.mode, t.old_owner));
+        }
+        for t in l.release(4, Mode::Shared) {
+            order.push((t.requester, t.mode, t.old_owner));
+        }
+        assert_eq!(
+            order,
+            vec![
+                (2, Mode::Shared, 1),
+                (3, Mode::Exclusive, 1),
+                (4, Mode::Shared, 3),
+                (5, Mode::Exclusive, 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn seen_token_is_forwarded_verbatim_per_requester() {
+        let mut l = HomeLock::new(0);
+        let t = l.acquire(7, Mode::Exclusive, (42, 9));
+        assert_eq!(t[0].seen, (42, 9));
+        l.acquire(8, Mode::Exclusive, (1000, 2));
+        let t = l.release(7, Mode::Exclusive);
+        assert_eq!(t[0].seen, (1000, 2), "queued token survives the wait");
+    }
+
     fn item(addr: u64, ts: u64) -> UpdateItem {
         UpdateItem {
             addr,
@@ -328,6 +431,32 @@ mod tests {
         // Ready for the next episode.
         assert_eq!(b.episode(), 1);
         assert!(b.arrive(0, UpdateSet::new()).is_none());
+    }
+
+    #[test]
+    fn barrier_conflicting_writes_resolve_newest_and_skip_writers() {
+        // Two processors wrote the same address: the merge keeps the
+        // newer item, and neither writer receives it back (each already
+        // has its own — possibly older — value by design; entry
+        // consistency only promises consistency at the next acquire).
+        let mut b = BarrierSite::new(3);
+        b.arrive(
+            0,
+            UpdateSet {
+                items: vec![item(16, 5)],
+            },
+        );
+        b.arrive(
+            1,
+            UpdateSet {
+                items: vec![item(16, 9)],
+            },
+        );
+        let rel = b.arrive(2, UpdateSet::new()).unwrap();
+        assert!(rel.per_proc[0].items.is_empty());
+        assert!(rel.per_proc[1].items.is_empty());
+        assert_eq!(rel.per_proc[2].items.len(), 1);
+        assert_eq!(rel.per_proc[2].items[0].ts, 9, "newest write wins");
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod vm;
 
 pub use binding::Binding;
 pub use clock::LamportClock;
-pub use home::{BarrierSite, HomeLock, Transfer};
+pub use home::{BarrierSite, HomeLock, SeenToken, Transfer};
 pub use sync_id::{BarrierId, LockId, Mode};
 pub use update::{Update, UpdateItem, UpdateSet, ITEM_HEADER_BYTES, MSG_HEADER_BYTES};

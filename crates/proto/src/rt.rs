@@ -112,6 +112,21 @@ pub fn apply(
     layout: &Layout,
     set: &UpdateSet,
 ) -> RtApply {
+    apply_with(store, dirty, layout, set, |_, _| {})
+}
+
+/// [`apply`] with a hook: `on_applied(addr, data)` runs for every chunk
+/// actually written (skipped lines never reach it). Detectors that keep
+/// secondary write-detection state — e.g. a hybrid backend patching page
+/// twins so applied updates are not re-diffed as local modifications —
+/// observe exactly the bytes that landed.
+pub fn apply_with(
+    store: &mut LocalStore,
+    dirty: &mut DirtyMap,
+    layout: &Layout,
+    set: &UpdateSet,
+    mut on_applied: impl FnMut(Addr, &[u8]),
+) -> RtApply {
     let mut out = RtApply::default();
     for item in &set.items {
         // Items may span several cache lines (coalesced runs); exactly-once
@@ -133,6 +148,7 @@ pub fn apply(
             if current != midway_mem::DIRTY && item.ts > current {
                 store.write_bytes(addr, &item.data[pos..pos + chunk]);
                 dirty.bits_mut(layout, region_id).stamp(line, item.ts);
+                on_applied(addr, &item.data[pos..pos + chunk]);
                 out.dirtybits_updated += 1;
                 out.bytes_applied += chunk as u64;
             } else {

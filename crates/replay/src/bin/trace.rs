@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! trace record --app sor [--backend rt] [--scale small] [--procs 8] [--out FILE]
-//! trace replay FILE [--backend rt|vm|blast|twinall] [--fault-us N] [--check]
+//! trace replay FILE [--backend rt|vm|blast|twinall|hybrid] [--fault-us N] [--check]
 //! trace info FILE
 //! trace diff A B
 //! trace sweep FILE [--points N] [--live]
@@ -24,9 +24,9 @@ use midway_stats::{FaultSweep, TextTable};
 
 const USAGE: &str = "usage:
   trace record --app <water|quicksort|matrix|sor|cholesky|all>
-               [--backend rt|vm|blast|twinall|none] [--scale paper|medium|small]
+               [--backend rt|vm|blast|twinall|hybrid|none] [--scale paper|medium|small]
                [--procs N] [--out FILE]
-  trace replay <FILE> [--backend rt|vm|blast|twinall] [--fault-us N] [--check]
+  trace replay <FILE> [--backend rt|vm|blast|twinall|hybrid] [--fault-us N] [--check]
   trace info   <FILE>
   trace diff   <A> <B>
   trace sweep  <FILE> [--points N] [--live]";
@@ -90,35 +90,12 @@ fn parse_app(s: &str) -> Result<AppKind, String> {
         .ok_or_else(|| format!("unknown app {s:?} (use water|quicksort|matrix|sor|cholesky)"))
 }
 
-fn parse_backend(s: &str) -> Result<BackendKind, String> {
-    match s {
-        "rt" => Ok(BackendKind::Rt),
-        "vm" => Ok(BackendKind::Vm),
-        "blast" => Ok(BackendKind::Blast),
-        "twinall" => Ok(BackendKind::TwinAll),
-        "none" => Ok(BackendKind::None),
-        _ => Err(format!(
-            "unknown backend {s:?} (use rt|vm|blast|twinall|none)"
-        )),
-    }
-}
-
 fn parse_scale(s: &str) -> Result<Scale, String> {
     match s {
         "paper" => Ok(Scale::Paper),
         "medium" => Ok(Scale::Medium),
         "small" => Ok(Scale::Small),
         _ => Err(format!("unknown scale {s:?} (use paper|medium|small)")),
-    }
-}
-
-fn backend_tag(b: BackendKind) -> &'static str {
-    match b {
-        BackendKind::Rt => "rt",
-        BackendKind::Vm => "vm",
-        BackendKind::Blast => "blast",
-        BackendKind::TwinAll => "twinall",
-        BackendKind::None => "none",
     }
 }
 
@@ -147,7 +124,7 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
     };
     let backend = value(args, "--backend")?
         .as_deref()
-        .map(parse_backend)
+        .map(BackendKind::from_cli_name)
         .transpose()?
         .unwrap_or(BackendKind::Rt);
     let scale = value(args, "--scale")?
@@ -176,7 +153,7 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
                 app.label(),
                 scale.label(),
                 procs,
-                backend_tag(backend)
+                backend.cli_name()
             ))
         });
         if let Some(dir) = path.parent() {
@@ -206,7 +183,7 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
     let mut cfg = trace.recorded_cfg();
     let mut exact = true;
     if let Some(b) = value(args, "--backend")? {
-        cfg.backend = parse_backend(&b)?;
+        cfg.backend = BackendKind::from_cli_name(&b)?;
         exact = cfg.backend == trace.meta.cfg.backend;
     }
     if let Some(us) = value(args, "--fault-us")? {
@@ -360,7 +337,7 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, String> {
         .unwrap_or(7);
     let backend = value(args, "--backend")?
         .as_deref()
-        .map(parse_backend)
+        .map(BackendKind::from_cli_name)
         .transpose()?
         .unwrap_or(trace.meta.cfg.backend);
     let models = FaultSweep::paper(points).models(trace.recorded_cfg().cost);

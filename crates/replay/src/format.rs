@@ -4,9 +4,9 @@
 //!
 //! ```text
 //! magic   b"MWTR"                      (4 raw bytes)
-//! version 1
+//! version 2                            (decoder accepts 1 and 2)
 //! meta    app, scale (strings: length + UTF-8 bytes), verified (1 byte),
-//!         backend (1 byte), procs, history_cap,
+//!         backend (1 byte: `BackendKind::wire_tag`), procs, history_cap,
 //!         cost model (Table 1 fields; µs fields as f64 bit patterns),
 //!         net model (4 varints),
 //!         finish_cycles, messages,
@@ -42,8 +42,13 @@ use crate::{Trace, TraceMeta};
 
 /// File magic: "MWTR" (MidWay TRace).
 pub const MAGIC: [u8; 4] = *b"MWTR";
-/// Current format version.
-pub const VERSION: u64 = 1;
+/// Current format version. Version 2 added the `hybrid` backend tag (the
+/// byte layout is unchanged — backend tags are append-only); version 1
+/// files still decode.
+pub const VERSION: u64 = 2;
+
+/// The oldest format version the decoder accepts.
+pub const MIN_VERSION: u64 = 1;
 
 /// Why a trace file was rejected.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -233,27 +238,6 @@ impl Writer {
     }
 }
 
-fn backend_tag(b: BackendKind) -> u8 {
-    match b {
-        BackendKind::Rt => 0,
-        BackendKind::Vm => 1,
-        BackendKind::Blast => 2,
-        BackendKind::TwinAll => 3,
-        BackendKind::None => 4,
-    }
-}
-
-fn backend_from_tag(t: u8) -> Result<BackendKind, TraceError> {
-    Ok(match t {
-        0 => BackendKind::Rt,
-        1 => BackendKind::Vm,
-        2 => BackendKind::Blast,
-        3 => BackendKind::TwinAll,
-        4 => BackendKind::None,
-        _ => return Err(TraceError::Malformed("unknown backend tag")),
-    })
-}
-
 /// Encodes a trace into the `MWTR` byte format.
 pub fn encode(trace: &Trace) -> Vec<u8> {
     let mut w = Writer { buf: Vec::new() };
@@ -264,7 +248,7 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
     w.string(&m.app);
     w.string(&m.scale);
     w.byte(u8::from(m.verified));
-    w.byte(backend_tag(m.cfg.backend));
+    w.byte(m.cfg.backend.wire_tag());
     w.varint(m.cfg.procs as u64);
     w.varint(m.cfg.history_cap as u64);
     w.cost(&m.cfg.cost);
@@ -510,14 +494,15 @@ pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
         pos: MAGIC.len(),
     };
     let version = r.varint()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(TraceError::BadVersion(version));
     }
 
     let app = r.string()?;
     let scale = r.string()?;
     let verified = r.byte()? != 0;
-    let backend = backend_from_tag(r.byte()?)?;
+    let backend = BackendKind::from_wire_tag(r.byte()?)
+        .ok_or(TraceError::Malformed("unknown backend tag"))?;
     let procs = r.len(1)?;
     if procs == 0 {
         return Err(TraceError::Malformed("zero processors"));

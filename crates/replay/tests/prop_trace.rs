@@ -201,7 +201,11 @@ fn future_versions_are_rejected() {
     let mut rng = SplitMix64::new(0x7ace_0004);
     let trace = random_trace(&mut rng);
     let mut bytes = trace.encode();
-    assert_eq!(bytes[4], 1, "version varint directly follows the magic");
+    assert_eq!(
+        u64::from(bytes[4]),
+        midway_replay::VERSION,
+        "version varint directly follows the magic"
+    );
     bytes[4] = 99;
     let payload_len = bytes.len() - 8;
     let sum = {

@@ -9,11 +9,12 @@ use midway_core::{
     BackendKind, Midway, MidwayConfig, NetModel, Proc, SplitMix64, SystemBuilder, SystemSpec,
 };
 
-const BACKENDS: [BackendKind; 4] = [
+const BACKENDS: [BackendKind; 5] = [
     BackendKind::Rt,
     BackendKind::Vm,
     BackendKind::Blast,
     BackendKind::TwinAll,
+    BackendKind::Hybrid,
 ];
 
 /// A randomly generated lock-counter program: `plan[p][r] = (lock, slot,

@@ -8,11 +8,12 @@ use std::sync::Arc;
 
 use midway_core::{BackendKind, Midway, MidwayConfig, NetModel, Proc, SystemBuilder, SystemSpec};
 
-const DATA_BACKENDS: [BackendKind; 4] = [
+const DATA_BACKENDS: [BackendKind; 5] = [
     BackendKind::Rt,
     BackendKind::Vm,
     BackendKind::Blast,
     BackendKind::TwinAll,
+    BackendKind::Hybrid,
 ];
 
 fn counter_spec() -> (

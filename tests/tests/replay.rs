@@ -71,6 +71,12 @@ fn quicksort_replays_bit_for_bit_on_both_backends() {
     record_and_verify(AppKind::Quicksort, BackendKind::Vm, 4);
 }
 
+#[test]
+fn sor_and_quicksort_replay_bit_for_bit_on_hybrid() {
+    record_and_verify(AppKind::Sor, BackendKind::Hybrid, 4);
+    record_and_verify(AppKind::Quicksort, BackendKind::Hybrid, 4);
+}
+
 /// A trace recorded under RT-DSM drives every other backend: the stream
 /// is backend-independent (it records what the application did, not what
 /// the protocol did), and cross-backend replays must agree with a live
@@ -82,7 +88,12 @@ fn rt_trace_replayed_on_other_backends_matches_live_runs() {
         MidwayConfig::new(4, BackendKind::Rt),
         Scale::Small,
     );
-    for backend in [BackendKind::Vm, BackendKind::Blast, BackendKind::TwinAll] {
+    for backend in [
+        BackendKind::Vm,
+        BackendKind::Blast,
+        BackendKind::TwinAll,
+        BackendKind::Hybrid,
+    ] {
         let cfg = MidwayConfig::new(4, backend);
         let replayed = replay(&trace, cfg).expect("replay");
         let (live, _) = record_app(AppKind::Sor, cfg, Scale::Small);

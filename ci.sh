@@ -29,6 +29,20 @@ for backend in rt vm blast twinall hybrid; do
     cargo run --release -q -p midway-replay --bin trace -- \
         replay "$smoke/sor-$backend.mwt" --check
 done
+
+echo "==> fault tolerance smoke (every backend)"
+# faultcheck replays the trace twice under the seeded plan (the runs must
+# be bit-for-bit identical) and, for sor, demands strict convergence to
+# the fault-free final memory and counters.
+for backend in rt vm blast twinall hybrid; do
+    # 1% loss: real drops, retransmissions, and recovery.
+    cargo run --release -q -p midway-replay --bin trace -- \
+        faultcheck "$smoke/sor-$backend.mwt" --loss 10000 --fault-seed 7
+    # 0% loss with the channel enabled: pure framing overhead must still
+    # reproduce the fault-free oracle exactly.
+    cargo run --release -q -p midway-replay --bin trace -- \
+        faultcheck "$smoke/sor-$backend.mwt" --loss 0 --fault-seed 7
+done
 cargo run --release -q -p midway-replay --bin trace -- \
     replay "$smoke/sor-rt.mwt" --backend vm >/dev/null
 cargo run --release -q -p midway-replay --bin trace -- \

@@ -1,0 +1,125 @@
+//! Loss-rate sweep: finish time and reliability overhead per backend on
+//! an unreliable network.
+//!
+//! The paper assumes a reliable interconnect; this harness measures what
+//! masking an *unreliable* one costs each write-detection backend. One
+//! recorded trace drives every point: for each data-moving backend the
+//! trace is replayed under a seeded fault plan at increasing drop rates,
+//! and the finish time is compared with the same backend's run on the
+//! trusted network (no reliable framing at all). The loss-0 column
+//! therefore isolates the pure channel overhead — framing bytes, acks,
+//! timers — and the remaining columns add real recovery work
+//! (retransmissions after drops).
+//!
+//! Shares the standard harness flags; additionally `--app NAME` picks the
+//! recorded application (default sor, whose barrier-partitioned sharing
+//! converges bit-for-bit under any fault schedule) and `--fault-seed N`
+//! seeds the schedule (default 1).
+
+use midway_apps::AppKind;
+use midway_bench::{banner, cached_trace, replay_outcome, BenchArgs, Json};
+use midway_core::{BackendKind, FaultPlan};
+use midway_replay::replay;
+use midway_stats::{fmt_f64, TextTable};
+
+/// Drop rates swept, in parts per million (0%, 0.25%, 0.5%, 1%, 2%, 5%).
+const LOSS_PPM: [u32; 6] = [0, 2_500, 5_000, 10_000, 20_000, 50_000];
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner("Loss sweep: reliable delivery cost per backend", &args);
+
+    let app = match args.value("--app") {
+        Some(name) => AppKind::all()
+            .into_iter()
+            .find(|k| k.label() == name)
+            .unwrap_or_else(|| panic!("unknown app {name:?}")),
+        None => AppKind::Sor,
+    };
+    let seed: u64 = args
+        .value("--fault-seed")
+        .map(|s| s.parse().expect("--fault-seed takes a number"))
+        .unwrap_or(1);
+
+    let trace = cached_trace(&args, app, BackendKind::Rt);
+    println!(
+        "app: {}, fault seed: {seed}, drop rates: {:?} ppm\n",
+        app.label(),
+        LOSS_PPM
+    );
+
+    let mut t = TextTable::new(&[
+        "backend",
+        "loss (%)",
+        "finish (ms)",
+        "slowdown",
+        "retransmits",
+        "acks",
+        "dup frames",
+    ]);
+    let mut points_json = Vec::new();
+    for backend in BackendKind::DATA {
+        // The trusted-network baseline: no fault plan, no framing. Same-
+        // backend replays go through the bit-for-bit equivalence oracle.
+        let base = replay_outcome(&trace, app, backend);
+        let base_ms = trace
+            .meta
+            .cfg
+            .cost
+            .cycles_to_millis(base.finish_time.cycles());
+        let base_digests = {
+            let mut cfg = trace.recorded_cfg();
+            cfg.backend = backend;
+            replay(&trace, cfg)
+                .expect("trusted-network baseline replay")
+                .store_digests
+        };
+        for loss in LOSS_PPM {
+            let mut cfg = trace.recorded_cfg();
+            cfg.backend = backend;
+            cfg.faults = FaultPlan::lossy(seed, loss);
+            let run = replay(&trace, cfg).unwrap_or_else(|e| {
+                panic!("{} replay at {loss} ppm loss failed: {e}", backend.label())
+            });
+            if run.store_digests != base_digests {
+                eprintln!(
+                    "note: {} at {loss} ppm ended with different final memory than \
+                     the trusted-network run (legitimate for lock-order-dependent apps)",
+                    backend.label()
+                );
+            }
+            let link = run.link_totals();
+            let ms = cfg.cost.cycles_to_millis(run.finish_time.cycles());
+            t.row(&[
+                backend.label().to_string(),
+                fmt_f64(f64::from(loss) / 10_000.0, 2),
+                fmt_f64(ms, 1),
+                format!("{:.2}x", ms / base_ms.max(1e-12)),
+                link.retransmits.to_string(),
+                link.acks_sent.to_string(),
+                link.dup_frames_dropped.to_string(),
+            ]);
+            points_json.push(Json::obj([
+                ("backend", Json::str(backend.cli_name())),
+                ("loss_ppm", Json::U64(u64::from(loss))),
+                ("finish_ms", Json::F64(ms)),
+                ("baseline_ms", Json::F64(base_ms)),
+                ("slowdown", Json::F64(ms / base_ms.max(1e-12))),
+                ("retransmits", Json::U64(link.retransmits)),
+                ("acks", Json::U64(link.acks_sent)),
+                ("dup_frames", Json::U64(link.dup_frames_dropped)),
+                ("data_frames", Json::U64(link.data_frames_sent)),
+            ]));
+        }
+    }
+    println!("{t}");
+    println!("\nSlowdown is against the same backend on the trusted network (no");
+    println!("framing). The 0% row is the pure channel overhead; higher rates add");
+    println!("retransmission and backoff on top.");
+
+    let mut pairs = args.meta_json("fault_sweep");
+    pairs.push(("app".to_string(), Json::str(app.label())));
+    pairs.push(("fault_seed".to_string(), Json::U64(seed)));
+    pairs.push(("points".to_string(), Json::Arr(points_json)));
+    args.emit("fault_sweep", &Json::Obj(pairs));
+}

@@ -4,7 +4,7 @@ use midway_mem::{Addr, AddrRange};
 use midway_proto::{BarrierId, LockId, Mode};
 use midway_sim::{ProcHandle, VirtualTime};
 
-use crate::msg::DsmMsg;
+use crate::msg::NetMsg;
 use crate::node::DsmNode;
 use crate::setup::{Scalar, SharedArray};
 use crate::trace::{push_op, TraceOp};
@@ -23,7 +23,7 @@ use crate::trace::{push_op, TraceOp};
 /// never recorded.
 pub struct Proc<'a> {
     pub(crate) node: DsmNode,
-    pub(crate) h: &'a mut ProcHandle<DsmMsg>,
+    pub(crate) h: &'a mut ProcHandle<NetMsg>,
     pub(crate) rec: Option<Vec<TraceOp>>,
 }
 

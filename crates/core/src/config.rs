@@ -1,6 +1,7 @@
 //! System configuration.
 
-use midway_sim::NetModel;
+use midway_proto::ReliableParams;
+use midway_sim::{FaultPlan, NetModel};
 use midway_stats::CostModel;
 
 /// Which write-detection strategy the system runs.
@@ -124,6 +125,14 @@ pub struct MidwayConfig {
     /// [`MidwayRun::blueprint`](crate::MidwayRun::blueprint) are then
     /// populated for the `midway-replay` crate to serialize and replay.
     pub record: bool,
+    /// Deterministic network fault schedule. Disabled by default: the
+    /// network is perfect and messages travel unframed, byte-for-byte as
+    /// they did before the reliable channel existed. Enabling the plan
+    /// (even with all rates zero) turns on reliable delivery.
+    pub faults: FaultPlan,
+    /// Reliable-channel tuning (retransmit timeout, backoff cap, timer
+    /// cost). Only consulted when `faults` is enabled.
+    pub reliable: ReliableParams,
 }
 
 impl MidwayConfig {
@@ -136,6 +145,8 @@ impl MidwayConfig {
             net: NetModel::atm_cluster(),
             history_cap: 512,
             record: false,
+            faults: FaultPlan::none(),
+            reliable: ReliableParams::atm_cluster(),
         }
     }
 
@@ -159,6 +170,19 @@ impl MidwayConfig {
     /// Turns trace recording on or off.
     pub fn record(mut self, on: bool) -> MidwayConfig {
         self.record = on;
+        self
+    }
+
+    /// Replaces the network fault plan (an enabled plan also turns on the
+    /// reliable delivery channel).
+    pub fn faults(mut self, faults: FaultPlan) -> MidwayConfig {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the reliable-channel tuning.
+    pub fn reliable(mut self, reliable: ReliableParams) -> MidwayConfig {
+        self.reliable = reliable;
         self
     }
 }

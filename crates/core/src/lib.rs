@@ -52,13 +52,13 @@ pub use api::Proc;
 pub use config::{BackendKind, MidwayConfig};
 pub use counters::{AvgCounters, Counters};
 pub use detect::{DetectCx, WriteDetector};
-pub use msg::{DsmMsg, GrantPayload};
+pub use msg::{DsmMsg, GrantPayload, NetMsg};
 pub use run::{Midway, MidwayRun};
 pub use setup::{Scalar, SharedArray, SystemBuilder, SystemSpec};
 pub use trace::{AllocSpec, BarrierSpec, SpecBlueprint, TraceOp};
 
 // Re-export the identifiers applications need.
 pub use midway_mem::AddrRange;
-pub use midway_proto::{BarrierId, LockId, Mode};
-pub use midway_sim::{NetModel, SimError, SplitMix64, VirtualTime};
+pub use midway_proto::{BarrierId, LinkStats, LockId, Mode, ReliableParams};
+pub use midway_sim::{FaultPlan, FaultStats, NetModel, SimError, SplitMix64, VirtualTime};
 pub use midway_stats::CostModel;

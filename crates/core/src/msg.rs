@@ -1,6 +1,8 @@
 //! The DSM protocol messages and their wire sizes.
 
-use midway_proto::{BarrierId, Binding, LockId, Mode, Update, UpdateSet, MSG_HEADER_BYTES};
+use midway_proto::{
+    BarrierId, Binding, LockId, Mode, Update, UpdateSet, MSG_HEADER_BYTES, RELIABLE_HEADER_BYTES,
+};
 
 /// The data a grant carries, per backend.
 #[derive(Clone, Debug)]
@@ -121,8 +123,6 @@ pub enum DsmMsg {
         /// The arriving processor's logical time.
         time: u64,
     },
-    /// Self-posted timer used by `Proc::idle` backoff waits.
-    Tick,
     /// Manager → processor: everyone arrived; here is everyone else's data.
     BarrierRelease {
         /// The barrier.
@@ -139,7 +139,6 @@ impl DsmMsg {
     pub fn wire_size(&self) -> u64 {
         MSG_HEADER_BYTES
             + match self {
-                DsmMsg::Tick => 0,
                 DsmMsg::AcquireReq { .. } => 24,
                 DsmMsg::TransferReq { .. } => 32,
                 DsmMsg::Grant { payload, .. } => 8 + payload.wire_size(),
@@ -157,6 +156,60 @@ impl DsmMsg {
                 set.data_bytes()
             }
             _ => 0,
+        }
+    }
+}
+
+/// What actually travels through the simulated network: a DSM protocol
+/// message in one of two framings, or a self-posted timer.
+///
+/// On a trusted network (faults disabled) every protocol message goes as
+/// [`NetMsg::Raw`] — byte-for-byte the same wire size and event stream as
+/// before the reliable channel existed, which is what keeps pre-change
+/// traces replaying bit-for-bit. With faults enabled the link layer wraps
+/// every message in [`NetMsg::Data`] framing and answers with
+/// [`NetMsg::Ack`]s.
+#[derive(Clone, Debug)]
+pub enum NetMsg {
+    /// Trusted-network fast path: the bare protocol message, no framing.
+    Raw(DsmMsg),
+    /// Reliable framing: per-pair sequence number plus a piggybacked
+    /// cumulative ack for the reverse direction.
+    Data {
+        /// This frame's sequence number on the (sender → receiver) pair.
+        seq: u64,
+        /// Cumulative ack: the sender has delivered everything up to this
+        /// sequence number of the reverse direction.
+        ack: u64,
+        /// The protocol message.
+        msg: DsmMsg,
+    },
+    /// Explicit cumulative acknowledgement (when no reverse data frame is
+    /// available to piggyback on).
+    Ack {
+        /// Everything up to this sequence number has been delivered.
+        ack: u64,
+    },
+    /// Self-posted timer used by `Proc::idle` backoff waits.
+    Tick,
+    /// Self-posted retransmit timer for the reliable channel to `peer`.
+    RetxCheck {
+        /// The peer whose send channel should be checked.
+        peer: usize,
+    },
+}
+
+/// Wire size of an explicit ack frame.
+pub(crate) const ACK_FRAME_BYTES: u64 = MSG_HEADER_BYTES + 8;
+
+impl NetMsg {
+    /// The message's bytes on the wire. Timers never reach the network.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            NetMsg::Raw(m) => m.wire_size(),
+            NetMsg::Data { msg, .. } => msg.wire_size() + RELIABLE_HEADER_BYTES,
+            NetMsg::Ack { .. } => ACK_FRAME_BYTES,
+            NetMsg::Tick | NetMsg::RetxCheck { .. } => 0,
         }
     }
 }

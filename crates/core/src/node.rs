@@ -21,10 +21,13 @@ use midway_sim::{Category, ProcHandle};
 use crate::config::MidwayConfig;
 use crate::counters::Counters;
 use crate::detect::{DetectCx, WriteDetector};
-use crate::msg::DsmMsg;
+use crate::msg::{DsmMsg, NetMsg};
 use crate::setup::SystemSpec;
 
+use self::link::LinkLayer;
+
 mod barriers;
+mod link;
 mod locks;
 mod transfer;
 
@@ -59,6 +62,7 @@ pub(crate) struct DsmNode {
     barriers: Vec<BarrierNode>,
     sites: Vec<Option<BarrierSite>>,
     tick_pending: bool,
+    pub(crate) link: LinkLayer,
     pub(crate) counters: Counters,
 }
 
@@ -132,6 +136,7 @@ impl DsmNode {
             barriers,
             sites,
             tick_pending: false,
+            link: LinkLayer::new(procs, cfg.faults.enabled, cfg.reliable),
             counters: Counters::default(),
             spec,
         }
@@ -143,16 +148,16 @@ impl DsmNode {
     /// dependence counters). Unlike pure compute, an idle wait lets other
     /// processors' messages through — including requests this processor
     /// must answer for anyone to make progress.
-    pub fn idle(&mut self, h: &mut ProcHandle<DsmMsg>, cycles: u64) {
+    pub fn idle(&mut self, h: &mut ProcHandle<NetMsg>, cycles: u64) {
         debug_assert!(!self.tick_pending, "nested idle");
         self.tick_pending = true;
-        h.post_self(DsmMsg::Tick, cycles);
+        h.post_self(NetMsg::Tick, cycles);
         self.pump_until(h, |n| !n.tick_pending);
     }
 
     /// Traps a store of `len` bytes at `addr` *before* the data is written
     /// (paper §3.1 / §3.3; the mechanism is the detector's).
-    pub fn trap_write(&mut self, h: &mut ProcHandle<DsmMsg>, addr: Addr, len: usize) {
+    pub fn trap_write(&mut self, h: &mut ProcHandle<NetMsg>, addr: Addr, len: usize) {
         with_detector!(self, h, |det, cx| det.trap_write(&mut cx, addr, len));
     }
 
@@ -162,37 +167,66 @@ impl DsmNode {
     }
 
     /// Serves protocol messages until `done` holds.
-    fn pump_until(&mut self, h: &mut ProcHandle<DsmMsg>, done: impl Fn(&DsmNode) -> bool) {
+    fn pump_until(&mut self, h: &mut ProcHandle<NetMsg>, done: impl Fn(&DsmNode) -> bool) {
         while !done(self) {
             let (_t, src, msg) = h.recv();
-            self.handle(h, src, msg);
+            self.handle_net(h, src, msg);
         }
     }
 
     /// Serves protocol messages until the whole cluster quiesces.
-    pub fn finalize(&mut self, h: &mut ProcHandle<DsmMsg>) {
+    pub fn finalize(&mut self, h: &mut ProcHandle<NetMsg>) {
         while let Some((_t, src, msg)) = h.drain_recv() {
-            self.handle(h, src, msg);
+            self.handle_net(h, src, msg);
         }
     }
 
-    fn handle(&mut self, h: &mut ProcHandle<DsmMsg>, src: usize, msg: DsmMsg) {
+    /// Dispatches one simulator-level message: the link layer peels
+    /// framing, timers, and acks; protocol messages that survive
+    /// sequencing go to [`Self::handle_dsm`] in order.
+    fn handle_net(&mut self, h: &mut ProcHandle<NetMsg>, src: usize, msg: NetMsg) {
         match msg {
-            DsmMsg::Tick => {
+            NetMsg::Tick => {
                 self.tick_pending = false;
             }
+            NetMsg::RetxCheck { peer } => self.link.on_timer(h, peer),
+            NetMsg::Raw(m) => self.handle_dsm(h, src, m),
+            NetMsg::Data { seq, ack, msg } => {
+                let mut deliver = Vec::new();
+                self.link.on_data(h, src, seq, ack, msg, &mut deliver);
+                for m in deliver {
+                    self.handle_dsm(h, src, m);
+                }
+                // Any response the handlers sent to `src` carried the ack;
+                // otherwise acknowledge explicitly.
+                self.link.flush_ack(h, src);
+            }
+            NetMsg::Ack { ack } => self.link.on_ack(h, src, ack),
+        }
+    }
+
+    fn handle_dsm(&mut self, h: &mut ProcHandle<NetMsg>, src: usize, msg: DsmMsg) {
+        match msg {
             DsmMsg::AcquireReq { lock, mode, seen } => {
-                let transfers = self.homes[lock.0 as usize]
-                    .as_mut()
-                    .expect("acquire sent to home")
-                    .acquire(src, mode, seen);
+                let Some(home) = self.homes[lock.0 as usize].as_mut() else {
+                    h.protocol_violation(format!(
+                        "acquire for {lock:?} from processor {src} routed to processor {}, \
+                         which is not the lock's home",
+                        self.me
+                    ));
+                };
+                let transfers = home.acquire(src, mode, seen);
                 self.do_transfers(h, lock, transfers);
             }
             DsmMsg::ReleaseNotify { lock, mode } => {
-                let transfers = self.homes[lock.0 as usize]
-                    .as_mut()
-                    .expect("release sent to home")
-                    .release(src, mode);
+                let Some(home) = self.homes[lock.0 as usize].as_mut() else {
+                    h.protocol_violation(format!(
+                        "release of {lock:?} from processor {src} routed to processor {}, \
+                         which is not the lock's home",
+                        self.me
+                    ));
+                };
+                let transfers = home.release(src, mode);
                 self.do_transfers(h, lock, transfers);
             }
             DsmMsg::TransferReq {

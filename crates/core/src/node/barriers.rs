@@ -5,14 +5,14 @@ use midway_proto::{BarrierId, UpdateSet};
 use midway_sim::{Category, ProcHandle};
 
 use crate::detect::DetectCx;
-use crate::msg::DsmMsg;
+use crate::msg::{DsmMsg, NetMsg};
 
 use super::{with_detector, DsmNode};
 
 impl DsmNode {
     /// Crosses `barrier`: ships local modifications of the bound data,
     /// waits for everyone, applies everyone else's.
-    pub fn barrier(&mut self, h: &mut ProcHandle<DsmMsg>, barrier: BarrierId) {
+    pub fn barrier(&mut self, h: &mut ProcHandle<NetMsg>, barrier: BarrierId) {
         let idx = barrier.0 as usize;
         self.clock.tick();
         let set = self.collect_barrier(h, idx);
@@ -27,16 +27,15 @@ impl DsmNode {
                 Category::Protocol,
                 self.cfg.cost.copy_cycles(set.data_bytes() as usize, true),
             );
-            let msg = DsmMsg::BarrierArrive { barrier, set, time };
-            let size = msg.wire_size();
-            h.send(mgr, msg, size);
+            self.link
+                .send(h, mgr, DsmMsg::BarrierArrive { barrier, set, time });
         }
         self.pump_until(h, |n| n.barriers[idx].released);
         self.barriers[idx].released = false;
         self.counters.barrier_waits += 1;
     }
 
-    fn collect_barrier(&mut self, h: &mut ProcHandle<DsmMsg>, idx: usize) -> UpdateSet {
+    fn collect_barrier(&mut self, h: &mut ProcHandle<NetMsg>, idx: usize) -> UpdateSet {
         // With a partitioned binding each processor scans only the ranges
         // it may have written — the discipline the paper's applications
         // follow ("only data at the edges of each partition are shared").
@@ -57,17 +56,21 @@ impl DsmNode {
 
     pub(super) fn handle_barrier_arrive(
         &mut self,
-        h: &mut ProcHandle<DsmMsg>,
+        h: &mut ProcHandle<NetMsg>,
         barrier: BarrierId,
         from: usize,
         set: UpdateSet,
         time: u64,
     ) {
         self.clock.observe(time);
-        let release = self.sites[barrier.0 as usize]
-            .as_mut()
-            .expect("arrive sent to manager")
-            .arrive(from, set);
+        let Some(site) = self.sites[barrier.0 as usize].as_mut() else {
+            h.protocol_violation(format!(
+                "arrival at {barrier:?} from processor {from} routed to processor {}, \
+                 which is not the barrier's manager",
+                self.me
+            ));
+        };
+        let release = site.arrive(from, set);
         if let Some(release) = release {
             let now = self.clock.tick();
             let mut own = UpdateSet::new();
@@ -85,8 +88,7 @@ impl DsmNode {
                         set,
                         time: now,
                     };
-                    let size = msg.wire_size();
-                    h.send(q, msg, size);
+                    self.link.send(h, q, msg);
                 }
             }
             self.finish_barrier(h, barrier, own, now);
@@ -95,7 +97,7 @@ impl DsmNode {
 
     pub(super) fn finish_barrier(
         &mut self,
-        h: &mut ProcHandle<DsmMsg>,
+        h: &mut ProcHandle<NetMsg>,
         barrier: BarrierId,
         set: UpdateSet,
         time: u64,

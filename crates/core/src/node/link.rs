@@ -1,0 +1,207 @@
+//! The node's link layer: reliable delivery over the simulated network.
+//!
+//! Every protocol message leaves the node through [`LinkLayer::send`]. On
+//! a trusted network (faults disabled) the layer is a pass-through that
+//! emits bare [`NetMsg::Raw`] frames — no sequence numbers, no acks, no
+//! timers, and exactly the wire sizes the protocol had before this layer
+//! existed. With faults enabled it runs one reliable channel
+//! ([`SendChannel`]/[`RecvChannel`]) per peer:
+//!
+//! * outgoing messages are staged, framed as [`NetMsg::Data`] with a
+//!   piggybacked cumulative ack, and retransmitted on a timer with
+//!   exponential backoff until acked;
+//! * incoming frames are sequenced — duplicates dropped, early arrivals
+//!   buffered — and handed to the protocol engine strictly in send order;
+//! * receipt is acknowledged on the next reverse data frame, or by an
+//!   explicit [`NetMsg::Ack`] when the protocol has nothing to say back.
+//!
+//! Timer discipline (this is what lets a run still quiesce): a peer's
+//! retransmit timer is armed iff frames to that peer are unacked; a timer
+//! that fires with an empty inflight queue disarms without re-posting, so
+//! once all acks are in, no self-posted events remain and the cluster's
+//! drain protocol sees a quiet network. Timer fires and retransmissions
+//! are charged to the virtual clock, so reliability overhead shows up in
+//! finish times.
+//!
+//! The timer period is a *fixed* `rto_cycles`; whether a fire actually
+//! retransmits is decided against a per-peer deadline (oldest frame's
+//! send or last ack-progress time plus the backed-off timeout). Two
+//! reasons: self-posted events cannot be cancelled, so a timer armed
+//! with a long backed-off delay would sit in the queue after the ack
+//! arrives and drag the processor's final clock (and the run's finish
+//! time) far past quiescence — the fixed period bounds that drag to one
+//! period; and a stale timer armed for an older, since-acked exchange
+//! would otherwise cut a fresh frame's timeout short and retransmit it
+//! spuriously — the deadline makes such fires re-arm and wait.
+
+use midway_proto::channel::{
+    Accept, LinkStats, RecvChannel, ReliableParams, SendChannel, RELIABLE_HEADER_BYTES,
+};
+use midway_sim::{Category, ProcHandle};
+
+use crate::msg::{DsmMsg, NetMsg, ACK_FRAME_BYTES};
+
+pub(crate) struct LinkLayer {
+    /// Whether reliable framing is on (= the run's fault plan is enabled).
+    reliable: bool,
+    params: ReliableParams,
+    /// Per-peer channels, indexed by processor id (self slots unused).
+    tx: Vec<SendChannel<DsmMsg>>,
+    rx: Vec<RecvChannel<DsmMsg>>,
+    /// The highest cumulative ack advertised to each peer so far (in any
+    /// frame); an explicit ack is owed when the receive channel is ahead
+    /// of this.
+    last_acked: Vec<u64>,
+    /// Set when a duplicate arrives from the peer: the retransmission
+    /// means our previous ack was lost, so re-ack even though the
+    /// cumulative ack did not advance.
+    force_ack: Vec<bool>,
+    /// Earliest cycle at which another duplicate-triggered ack may go to
+    /// the peer. A burst of queued duplicates (a peer that timed out
+    /// while we computed) is answered with ONE ack per timeout window,
+    /// not one per duplicate, keeping ack storms off the critical path.
+    force_ack_ok_at: Vec<u64>,
+    /// Whether a `RetxCheck` self-post is outstanding for the peer.
+    timer_armed: Vec<bool>,
+    /// Earliest cycle at which a retransmission to the peer is
+    /// justified: one (backed-off) timeout after the oldest unacked
+    /// frame was sent or last made cumulative-ack progress. Timer fires
+    /// ahead of the deadline — e.g. a timer armed for an older,
+    /// since-acked frame — re-arm without retransmitting.
+    retx_deadline: Vec<u64>,
+    pub(crate) stats: LinkStats,
+}
+
+impl LinkLayer {
+    pub fn new(procs: usize, reliable: bool, params: ReliableParams) -> LinkLayer {
+        LinkLayer {
+            reliable,
+            params,
+            tx: (0..procs).map(|_| SendChannel::new()).collect(),
+            rx: (0..procs).map(|_| RecvChannel::new()).collect(),
+            last_acked: vec![0; procs],
+            force_ack: vec![false; procs],
+            force_ack_ok_at: vec![0; procs],
+            timer_armed: vec![false; procs],
+            retx_deadline: vec![0; procs],
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Sends `msg` to `dst`, reliably when the network is untrusted.
+    pub fn send(&mut self, h: &mut ProcHandle<NetMsg>, dst: usize, msg: DsmMsg) {
+        let bytes = msg.wire_size();
+        if !self.reliable {
+            h.send(dst, NetMsg::Raw(msg), bytes);
+            return;
+        }
+        if !self.tx[dst].has_inflight() {
+            // This frame is the new oldest: its wait starts now.
+            self.retx_deadline[dst] = h.now().cycles() + self.params.rto_cycles;
+        }
+        let seq = self.tx[dst].stage(msg.clone(), bytes);
+        let ack = self.rx[dst].cum_ack();
+        self.last_acked[dst] = ack;
+        self.force_ack[dst] = false;
+        self.stats.data_frames_sent += 1;
+        h.send(
+            dst,
+            NetMsg::Data { seq, ack, msg },
+            bytes + RELIABLE_HEADER_BYTES,
+        );
+        self.arm_timer(h, dst, self.params.rto_cycles);
+    }
+
+    /// Processes an incoming data frame from `src`: applies the
+    /// piggybacked ack, sequences the payload, and appends every message
+    /// now deliverable in order to `deliver`.
+    pub fn on_data(
+        &mut self,
+        h: &mut ProcHandle<NetMsg>,
+        src: usize,
+        seq: u64,
+        ack: u64,
+        msg: DsmMsg,
+        deliver: &mut Vec<DsmMsg>,
+    ) {
+        self.apply_ack(h, src, ack);
+        match self.rx[src].on_data(seq, msg, deliver) {
+            Accept::InOrder => {}
+            Accept::Buffered => self.stats.out_of_order_buffered += 1,
+            Accept::Duplicate => {
+                self.stats.dup_frames_dropped += 1;
+                // The peer resent (or the network duplicated) a frame we
+                // already have; our ack may have been lost, so owe a fresh
+                // one even though the cumulative ack is unchanged.
+                self.force_ack[src] = true;
+            }
+        }
+    }
+
+    /// Applies a cumulative ack from `src` to the send channel.
+    pub fn on_ack(&mut self, h: &mut ProcHandle<NetMsg>, src: usize, ack: u64) {
+        self.apply_ack(h, src, ack);
+    }
+
+    fn apply_ack(&mut self, h: &mut ProcHandle<NetMsg>, src: usize, ack: u64) {
+        if self.tx[src].on_ack(ack) && self.tx[src].has_inflight() {
+            // Progress with frames still waiting: restart the timeout for
+            // the new oldest frame (TCP-style timer restart; retries were
+            // reset by the channel).
+            self.retx_deadline[src] = h.now().cycles() + self.params.rto_cycles;
+        }
+    }
+
+    /// Sends an explicit ack to `src` if one is owed — called after the
+    /// protocol engine has handled a delivered frame, so any reverse data
+    /// frame it produced has already carried the ack.
+    pub fn flush_ack(&mut self, h: &mut ProcHandle<NetMsg>, src: usize) {
+        let cum = self.rx[src].cum_ack();
+        let now = h.now().cycles();
+        let forced = self.force_ack[src] && now >= self.force_ack_ok_at[src];
+        self.force_ack[src] = false;
+        if cum > self.last_acked[src] || forced {
+            self.last_acked[src] = cum;
+            self.force_ack_ok_at[src] = now + self.params.rto_cycles;
+            self.stats.acks_sent += 1;
+            h.send(src, NetMsg::Ack { ack: cum }, ACK_FRAME_BYTES);
+        }
+    }
+
+    /// Handles a retransmit timer for the channel to `peer`: resends the
+    /// oldest unacked frame (unless backoff says to sit this fire out),
+    /// or disarms when everything has been acked.
+    pub fn on_timer(&mut self, h: &mut ProcHandle<NetMsg>, peer: usize) {
+        self.stats.timer_fires += 1;
+        self.timer_armed[peer] = false;
+        h.charge(Category::Protocol, self.params.timer_cost_cycles);
+        if !self.tx[peer].has_inflight() {
+            // Inflight empty: leave the timer disarmed so the cluster can
+            // quiesce. A new send re-arms it.
+            return;
+        }
+        if h.now().cycles() < self.retx_deadline[peer] {
+            // Too early — the timer was armed for an older exchange.
+        } else if let Some((seq, msg, bytes)) = self.tx[peer].oldest_unacked() {
+            self.stats.retransmits += 1;
+            let next_rto = self.tx[peer].note_retransmit(&self.params);
+            self.retx_deadline[peer] = h.now().cycles() + next_rto;
+            let ack = self.rx[peer].cum_ack();
+            self.last_acked[peer] = ack;
+            self.force_ack[peer] = false;
+            h.send(
+                peer,
+                NetMsg::Data { seq, ack, msg },
+                bytes + RELIABLE_HEADER_BYTES,
+            );
+        }
+        self.arm_timer(h, peer, self.params.rto_cycles);
+    }
+
+    fn arm_timer(&mut self, h: &mut ProcHandle<NetMsg>, peer: usize, delay: u64) {
+        if !self.timer_armed[peer] {
+            self.timer_armed[peer] = true;
+            h.post_self(NetMsg::RetxCheck { peer }, delay);
+        }
+    }
+}

@@ -3,13 +3,13 @@
 use midway_proto::{LockId, Mode};
 use midway_sim::ProcHandle;
 
-use crate::msg::DsmMsg;
+use crate::msg::{DsmMsg, NetMsg};
 
 use super::DsmNode;
 
 impl DsmNode {
     /// Acquires `lock` in `mode`, blocking until granted and consistent.
-    pub fn acquire(&mut self, h: &mut ProcHandle<DsmMsg>, lock: LockId, mode: Mode) {
+    pub fn acquire(&mut self, h: &mut ProcHandle<NetMsg>, lock: LockId, mode: Mode) {
         let idx = lock.0 as usize;
         assert!(
             self.locks[idx].held.is_none(),
@@ -26,9 +26,8 @@ impl DsmNode {
                 .acquire(self.me, mode, seen);
             self.do_transfers(h, lock, transfers);
         } else {
-            let msg = DsmMsg::AcquireReq { lock, mode, seen };
-            let size = msg.wire_size();
-            h.send(home, msg, size);
+            self.link
+                .send(h, home, DsmMsg::AcquireReq { lock, mode, seen });
         }
         self.pump_until(h, |n| n.locks[idx].held.is_some());
         self.counters.lock_acquires += 1;
@@ -36,7 +35,7 @@ impl DsmNode {
 
     /// Releases `lock`. Local and asynchronous, as in Midway: data moves
     /// only when another processor asks for it.
-    pub fn release(&mut self, h: &mut ProcHandle<DsmMsg>, lock: LockId, mode: Mode) {
+    pub fn release(&mut self, h: &mut ProcHandle<NetMsg>, lock: LockId, mode: Mode) {
         let idx = lock.0 as usize;
         assert_eq!(
             self.locks[idx].held,
@@ -54,9 +53,8 @@ impl DsmNode {
                 .release(self.me, mode);
             self.do_transfers(h, lock, transfers);
         } else {
-            let msg = DsmMsg::ReleaseNotify { lock, mode };
-            let size = msg.wire_size();
-            h.send(home, msg, size);
+            self.link
+                .send(h, home, DsmMsg::ReleaseNotify { lock, mode });
         }
     }
 

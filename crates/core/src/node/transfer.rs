@@ -6,7 +6,7 @@ use midway_proto::{LockId, Mode, SeenToken};
 use midway_sim::{Category, ProcHandle};
 
 use crate::detect::DetectCx;
-use crate::msg::{DsmMsg, GrantPayload};
+use crate::msg::{DsmMsg, GrantPayload, NetMsg};
 
 use super::{with_detector, DsmNode};
 
@@ -14,7 +14,7 @@ impl DsmNode {
     /// Executes the transfers a home decision produced.
     pub(super) fn do_transfers(
         &mut self,
-        h: &mut ProcHandle<DsmMsg>,
+        h: &mut ProcHandle<NetMsg>,
         lock: LockId,
         transfers: Vec<midway_proto::Transfer>,
     ) {
@@ -29,8 +29,7 @@ impl DsmNode {
                         mode: t.mode,
                         payload: GrantPayload::Current,
                     };
-                    let size = msg.wire_size();
-                    h.send(t.requester, msg, size);
+                    self.link.send(h, t.requester, msg);
                 }
             } else if t.old_owner == self.me {
                 let payload = self.collect_for(h, lock, t.seen);
@@ -42,8 +41,7 @@ impl DsmNode {
                     mode: t.mode,
                     seen: t.seen,
                 };
-                let size = msg.wire_size();
-                h.send(t.old_owner, msg, size);
+                self.link.send(h, t.old_owner, msg);
             }
         }
     }
@@ -52,7 +50,7 @@ impl DsmNode {
     /// requester whose last-seen token is `seen`.
     pub(super) fn collect_for(
         &mut self,
-        h: &mut ProcHandle<DsmMsg>,
+        h: &mut ProcHandle<NetMsg>,
         lock: LockId,
         seen: SeenToken,
     ) -> GrantPayload {
@@ -65,7 +63,7 @@ impl DsmNode {
 
     pub(super) fn send_grant(
         &mut self,
-        h: &mut ProcHandle<DsmMsg>,
+        h: &mut ProcHandle<NetMsg>,
         lock: LockId,
         mode: Mode,
         requester: usize,
@@ -85,14 +83,13 @@ impl DsmNode {
             mode,
             payload,
         };
-        let size = msg.wire_size();
-        h.send(requester, msg, size);
+        self.link.send(h, requester, msg);
     }
 
     /// Applies a grant's payload and marks the lock held.
     pub(super) fn apply_grant(
         &mut self,
-        h: &mut ProcHandle<DsmMsg>,
+        h: &mut ProcHandle<NetMsg>,
         lock: LockId,
         mode: Mode,
         payload: GrantPayload,

@@ -2,12 +2,13 @@
 
 use std::sync::Arc;
 
+use midway_proto::LinkStats;
 use midway_sim::{Cluster, ClusterConfig, ProcReport, SimError, VirtualTime};
 
 use crate::api::Proc;
 use crate::config::{BackendKind, MidwayConfig};
 use crate::counters::{AvgCounters, Counters};
-use crate::msg::DsmMsg;
+use crate::msg::NetMsg;
 use crate::node::DsmNode;
 use crate::setup::SystemSpec;
 use crate::trace::{SpecBlueprint, TraceOp};
@@ -25,6 +26,12 @@ pub struct MidwayRun<R> {
     pub finish_time: VirtualTime,
     /// Messages delivered cluster-wide.
     pub messages: u64,
+    /// Per-processor reliable-channel activity (all zeros when the run's
+    /// fault plan is disabled and messages travel unframed).
+    pub link: Vec<LinkStats>,
+    /// Per-processor FNV-1a digests of the final local memory content —
+    /// the final-state equivalence check for fault-tolerance oracles.
+    pub store_digests: Vec<u64>,
     /// The configuration that produced this run.
     pub cfg: MidwayConfig,
     /// Per-processor recorded operation streams. Empty unless the run was
@@ -50,6 +57,16 @@ impl<R> MidwayRun<R> {
     /// "data transferred" row counts application data only).
     pub fn data_kb_per_proc(&self) -> f64 {
         self.avg_counters().avg(|c| c.data_bytes_sent) / 1024.0
+    }
+
+    /// Cluster-wide reliable-channel totals (all zeros on a trusted
+    /// network).
+    pub fn link_totals(&self) -> LinkStats {
+        let mut total = LinkStats::default();
+        for l in &self.link {
+            total.add(l);
+        }
+        total
     }
 
     /// Application data transferred cluster-wide, in MB (Figure 2's right
@@ -100,8 +117,9 @@ impl Midway {
         let cluster = ClusterConfig {
             procs: cfg.procs,
             net: cfg.net,
+            faults: cfg.faults,
         };
-        let out = Cluster::run(cluster, move |h: &mut midway_sim::ProcHandle<DsmMsg>| {
+        let out = Cluster::run(cluster, move |h: &mut midway_sim::ProcHandle<NetMsg>| {
             let node = DsmNode::new(h.id(), cfg, Arc::clone(&spec));
             let mut proc = Proc {
                 node,
@@ -110,14 +128,25 @@ impl Midway {
             };
             let r = f(&mut proc);
             proc.node.finalize(proc.h);
-            (r, proc.node.counters, proc.rec.take())
+            let digest = proc.node.store.digest();
+            (
+                r,
+                proc.node.counters,
+                proc.node.link.stats,
+                digest,
+                proc.rec.take(),
+            )
         })?;
         let mut results = Vec::with_capacity(out.results.len());
         let mut counters = Vec::with_capacity(out.results.len());
+        let mut link = Vec::with_capacity(out.results.len());
+        let mut store_digests = Vec::with_capacity(out.results.len());
         let mut traces = Vec::new();
-        for (r, c, t) in out.results {
+        for (r, c, l, d, t) in out.results {
             results.push(r);
             counters.push(c);
+            link.push(l);
+            store_digests.push(d);
             if let Some(t) = t {
                 traces.push(t);
             }
@@ -128,6 +157,8 @@ impl Midway {
             reports: out.reports,
             finish_time: out.finish_time,
             messages: out.messages_delivered,
+            link,
+            store_digests,
             cfg,
             traces,
             blueprint,

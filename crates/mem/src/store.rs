@@ -98,6 +98,41 @@ impl LocalStore {
         self.bytes_mut(addr, src.len()).copy_from_slice(src);
     }
 
+    /// FNV-1a 64 digest of the store's logical content: every region's
+    /// used bytes in address order, with unmaterialized regions hashed as
+    /// the zeros they would read as. Two stores with the same logical
+    /// content digest identically regardless of which regions happen to
+    /// be materialized — the final-memory-state equivalence check the
+    /// fault-tolerance oracle relies on.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut eat = |b: u8| {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        };
+        for (idx, slot) in self.regions.iter().enumerate() {
+            let used = self.layout.region(idx).map_or(0, |d| d.used);
+            for b in (idx as u64).to_le_bytes() {
+                eat(b);
+            }
+            match slot {
+                Some(region) => {
+                    for &b in region.iter() {
+                        eat(b);
+                    }
+                }
+                None => {
+                    for _ in 0..used {
+                        eat(0);
+                    }
+                }
+            }
+        }
+        hash
+    }
+
     fn locate(&mut self, addr: Addr, len: usize) -> (&mut Box<[u8]>, usize) {
         let idx = addr.region_index();
         let desc = self.layout.region(idx).unwrap_or_else(|| {
@@ -174,6 +209,23 @@ mod tests {
     fn overrun_is_caught() {
         let (mut s, a) = store_with(16);
         s.write_u64(a + 12, 1);
+    }
+
+    #[test]
+    fn digest_ignores_materialization_but_sees_content() {
+        let mut b = LayoutBuilder::new();
+        let a = b.alloc("t", 64, MemClass::Shared, 3);
+        let layout = b.build();
+        let zero = LocalStore::new(Arc::clone(&layout));
+        let mut touched = LocalStore::new(Arc::clone(&layout));
+        // Materialize by reading zeros: logically identical content.
+        assert_eq!(touched.read_u64(a.addr), 0);
+        assert_eq!(zero.digest(), touched.digest());
+        let mut written = LocalStore::new(layout);
+        written.write_u64(a.addr, 42);
+        assert_ne!(zero.digest(), written.digest());
+        written.write_u64(a.addr, 0);
+        assert_eq!(zero.digest(), written.digest());
     }
 
     #[test]

@@ -22,9 +22,13 @@
 //! * [`HomeLock`] — the home-node lock state machine (exclusive and
 //!   non-exclusive modes).
 //! * [`BarrierSite`] — the manager-side barrier state machine.
+//! * [`channel`] — the reliable-delivery channel (sequence numbers,
+//!   cumulative acks, retransmission with backoff) that keeps all of the
+//!   above correct on a lossy network.
 
 mod binding;
 pub mod blast;
+pub mod channel;
 mod clock;
 mod home;
 pub mod rt;
@@ -34,6 +38,9 @@ mod update;
 pub mod vm;
 
 pub use binding::Binding;
+pub use channel::{
+    Accept, LinkStats, RecvChannel, ReliableParams, SendChannel, RELIABLE_HEADER_BYTES,
+};
 pub use clock::LamportClock;
 pub use home::{BarrierSite, HomeLock, SeenToken, Transfer};
 pub use sync_id::{BarrierId, LockId, Mode};

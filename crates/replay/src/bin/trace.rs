@@ -18,8 +18,10 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use midway_apps::{run_app, AppKind, Scale};
-use midway_core::{report, BackendKind, Counters, MidwayConfig, MidwayRun};
-use midway_replay::{record_app, replay, verify_replay, Trace};
+use midway_core::{report, BackendKind, Counters, FaultPlan, MidwayConfig, MidwayRun};
+use midway_replay::{
+    record_app, replay, verify_fault_determinism, verify_fault_replay, verify_replay, Trace,
+};
 use midway_stats::{FaultSweep, TextTable};
 
 const USAGE: &str = "usage:
@@ -27,6 +29,9 @@ const USAGE: &str = "usage:
                [--backend rt|vm|blast|twinall|hybrid|none] [--scale paper|medium|small]
                [--procs N] [--out FILE]
   trace replay <FILE> [--backend rt|vm|blast|twinall|hybrid] [--fault-us N] [--check]
+               [--loss PPM] [--dup PPM] [--reorder PPM] [--delay PPM] [--fault-seed N]
+  trace faultcheck <FILE> [--loss PPM] [--dup PPM] [--reorder PPM] [--delay PPM]
+               [--fault-seed N] [--lenient]
   trace info   <FILE>
   trace diff   <A> <B>
   trace sweep  <FILE> [--points N] [--live]";
@@ -36,6 +41,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("faultcheck") => cmd_faultcheck(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
@@ -71,7 +77,7 @@ fn positional(args: &[String]) -> Vec<&String> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--check" || args[i] == "--live" {
+        if args[i] == "--check" || args[i] == "--live" || args[i] == "--lenient" {
             i += 1;
         } else if args[i].starts_with("--") {
             i += 2;
@@ -81,6 +87,41 @@ fn positional(args: &[String]) -> Vec<&String> {
         }
     }
     out
+}
+
+fn ppm_value(args: &[String], name: &str) -> Result<Option<u32>, String> {
+    value(args, name)?
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("{name} takes a rate in parts per million"))
+        })
+        .transpose()
+}
+
+/// Builds the fault plan the `--loss`/`--dup`/`--reorder`/`--delay`/
+/// `--fault-seed` flags describe; `None` when no fault flag was given.
+/// `--loss` is shorthand for `--drop`.
+fn fault_plan_from_args(args: &[String]) -> Result<Option<FaultPlan>, String> {
+    let drop = ppm_value(args, "--loss")?.or(ppm_value(args, "--drop")?);
+    let dup = ppm_value(args, "--dup")?;
+    let reorder = ppm_value(args, "--reorder")?;
+    let delay = ppm_value(args, "--delay")?;
+    let seed = value(args, "--fault-seed")?
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--fault-seed takes a number".to_string())
+        })
+        .transpose()?;
+    if drop.is_none() && dup.is_none() && reorder.is_none() && delay.is_none() && seed.is_none() {
+        return Ok(None);
+    }
+    Ok(Some(
+        FaultPlan::seeded(seed.unwrap_or(1))
+            .drop_ppm(drop.unwrap_or(0))
+            .dup_ppm(dup.unwrap_or(0))
+            .reorder_ppm(reorder.unwrap_or(0))
+            .delay_ppm(delay.unwrap_or(0)),
+    ))
 }
 
 fn parse_app(s: &str) -> Result<AppKind, String> {
@@ -114,6 +155,15 @@ fn summarize(run: &MidwayRun<()>, cfg: &MidwayConfig) {
         report::trapping_millis(cfg.backend, &avg, &cfg.cost),
         report::collection_millis(cfg.backend, &avg, &cfg.cost).total()
     );
+    if cfg.faults.enabled {
+        let link = run.link_totals();
+        let injected: u64 = run.reports.iter().map(|r| r.fault_stats.total()).sum();
+        println!(
+            "reliability:  {injected} faults injected, {} retransmits, {} acks, \
+             {} dup frames dropped",
+            link.retransmits, link.acks_sent, link.dup_frames_dropped
+        );
+    }
 }
 
 fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
@@ -193,6 +243,10 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
         cfg.cost = cfg.cost.with_fault_micros(us);
         exact = false;
     }
+    if let Some(plan) = fault_plan_from_args(args)? {
+        cfg.faults = plan;
+        exact = false;
+    }
     let t0 = Instant::now();
     let run = if exact {
         // Identical configuration: always run the equivalence oracle.
@@ -209,6 +263,57 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
     if exact {
         println!("equivalence:  bit-for-bit identical to the recorded run");
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_faultcheck(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [path] = pos.as_slice() else {
+        return Err("faultcheck takes exactly one trace file".to_string());
+    };
+    let trace = load(path)?;
+    // Default plan: 1% loss, seed 1 — overridable by the fault flags.
+    let plan = fault_plan_from_args(args)?.unwrap_or_else(|| FaultPlan::lossy(1, 10_000));
+    println!(
+        "== fault-tolerance check: {} ({} on {}) ==",
+        path,
+        trace.meta.app,
+        trace.meta.cfg.backend.label()
+    );
+    println!(
+        "plan:         seed {}, drop {} dup {} reorder {} delay {} (ppm)",
+        plan.seed, plan.drop_ppm, plan.dup_ppm, plan.reorder_ppm, plan.delay_ppm
+    );
+    let lenient = flag(args, "--lenient");
+    let t0 = Instant::now();
+    let check = if lenient {
+        verify_fault_determinism(&trace, plan)?
+    } else {
+        verify_fault_replay(&trace, plan)?
+    };
+    println!("baseline:     bit-for-bit identical to the recorded run");
+    println!(
+        "faulty:       deterministic across reruns; {} faults injected, \
+         {} retransmits, {} acks",
+        check.faults_injected, check.link.retransmits, check.link.acks_sent
+    );
+    if lenient {
+        println!(
+            "convergence:  skipped (--lenient: lock-order-dependent workload); \
+             {:.2}x finish-time slowdown",
+            check.slowdown()
+        );
+    } else {
+        println!(
+            "convergence:  final memory and counters match the fault-free run \
+             ({:.2}x finish-time slowdown)",
+            check.slowdown()
+        );
+    }
+    println!(
+        "checked in:   {:.2} s host time",
+        t0.elapsed().as_secs_f64()
+    );
     Ok(ExitCode::SUCCESS)
 }
 

@@ -4,11 +4,14 @@
 //!
 //! ```text
 //! magic   b"MWTR"                      (4 raw bytes)
-//! version 2                            (decoder accepts 1 and 2)
+//! version 3                            (decoder accepts 1 through 3)
 //! meta    app, scale (strings: length + UTF-8 bytes), verified (1 byte),
 //!         backend (1 byte: `BackendKind::wire_tag`), procs, history_cap,
 //!         cost model (Table 1 fields; µs fields as f64 bit patterns),
 //!         net model (4 varints),
+//!         fault plan (v3+: enabled (1 byte) + 7 varints) and reliable
+//!         channel params (v3+: 3 varints) — absent in v1/v2, which
+//!         decode as "perfect network, default channel",
 //!         finish_cycles, messages,
 //!         counters: procs × 16 varints (Table 2 field order)
 //! blueprint
@@ -32,10 +35,11 @@
 //! files are rejected rather than misread.
 
 use midway_core::{
-    AllocSpec, BackendKind, BarrierSpec, Counters, MidwayConfig, SpecBlueprint, TraceOp,
+    AllocSpec, BackendKind, BarrierSpec, Counters, MidwayConfig, ReliableParams, SpecBlueprint,
+    TraceOp,
 };
 use midway_mem::AddrRange;
-use midway_sim::NetModel;
+use midway_sim::{FaultPlan, NetModel};
 use midway_stats::CostModel;
 
 use crate::{Trace, TraceMeta};
@@ -43,9 +47,11 @@ use crate::{Trace, TraceMeta};
 /// File magic: "MWTR" (MidWay TRace).
 pub const MAGIC: [u8; 4] = *b"MWTR";
 /// Current format version. Version 2 added the `hybrid` backend tag (the
-/// byte layout is unchanged — backend tags are append-only); version 1
-/// files still decode.
-pub const VERSION: u64 = 2;
+/// byte layout is unchanged — backend tags are append-only); version 3
+/// added the fault plan and reliable-channel parameters to the header so
+/// faulty runs replay deterministically. Version 1 and 2 files still
+/// decode (as fault-free configurations).
+pub const VERSION: u64 = 3;
 
 /// The oldest format version the decoder accepts.
 pub const MIN_VERSION: u64 = 1;
@@ -176,6 +182,23 @@ impl Writer {
         self.varint(n.recv_overhead_cycles);
     }
 
+    fn faults(&mut self, f: &FaultPlan) {
+        self.byte(u8::from(f.enabled));
+        self.varint(f.seed);
+        self.varint(u64::from(f.drop_ppm));
+        self.varint(u64::from(f.dup_ppm));
+        self.varint(u64::from(f.reorder_ppm));
+        self.varint(u64::from(f.delay_ppm));
+        self.varint(f.max_delay_cycles);
+        self.varint(f.reorder_window_cycles);
+    }
+
+    fn reliable(&mut self, p: &ReliableParams) {
+        self.varint(p.rto_cycles);
+        self.varint(u64::from(p.backoff_cap));
+        self.varint(p.timer_cost_cycles);
+    }
+
     fn counters(&mut self, c: &Counters) {
         for v in [
             c.dirtybits_set,
@@ -253,6 +276,8 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
     w.varint(m.cfg.history_cap as u64);
     w.cost(&m.cfg.cost);
     w.net(&m.cfg.net);
+    w.faults(&m.cfg.faults);
+    w.reliable(&m.cfg.reliable);
     w.varint(m.finish_cycles);
     w.varint(m.messages);
     assert_eq!(
@@ -414,6 +439,31 @@ impl<'a> Reader<'a> {
         })
     }
 
+    fn faults(&mut self) -> Result<FaultPlan, TraceError> {
+        let enabled = self.byte()? != 0;
+        let mut f = FaultPlan::seeded(self.varint()?);
+        f.enabled = enabled;
+        f.drop_ppm = self.u32field()?;
+        f.dup_ppm = self.u32field()?;
+        f.reorder_ppm = self.u32field()?;
+        f.delay_ppm = self.u32field()?;
+        f.max_delay_cycles = self.varint()?;
+        f.reorder_window_cycles = self.varint()?;
+        Ok(f)
+    }
+
+    fn u32field(&mut self) -> Result<u32, TraceError> {
+        u32::try_from(self.varint()?).map_err(|_| TraceError::Malformed("field exceeds u32"))
+    }
+
+    fn reliable(&mut self) -> Result<ReliableParams, TraceError> {
+        Ok(ReliableParams {
+            rto_cycles: self.varint()?,
+            backoff_cap: self.u32field()?,
+            timer_cost_cycles: self.varint()?,
+        })
+    }
+
     fn counters(&mut self) -> Result<Counters, TraceError> {
         let mut c = Counters::default();
         for f in [
@@ -510,6 +560,12 @@ pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
     let history_cap = r.varint()? as usize;
     let cost = r.cost()?;
     let net = r.net()?;
+    let (faults, reliable) = if version >= 3 {
+        (r.faults()?, r.reliable()?)
+    } else {
+        // v1/v2 traces predate fault injection: perfect network.
+        (FaultPlan::none(), ReliableParams::atm_cluster())
+    };
     let finish_cycles = r.varint()?;
     let messages = r.varint()?;
     let counters = (0..procs)
@@ -522,6 +578,8 @@ pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
         net,
         history_cap,
         record: false,
+        faults,
+        reliable,
     };
 
     let nallocs = r.len(4)?;

@@ -26,7 +26,8 @@ use std::sync::Arc;
 
 use midway_apps::{run_app, AppKind, AppOutcome, Scale};
 use midway_core::{
-    Counters, Midway, MidwayConfig, MidwayRun, Proc, SimError, SpecBlueprint, SystemSpec, TraceOp,
+    Counters, FaultPlan, LinkStats, Midway, MidwayConfig, MidwayRun, Proc, SimError, SpecBlueprint,
+    SystemSpec, TraceOp,
 };
 
 mod format;
@@ -271,6 +272,125 @@ pub fn replay_on(
 /// Returns a description of the first divergence (or the simulation
 /// error), which indicates either a corrupted trace or nondeterminism in
 /// the simulator itself.
+/// What [`verify_fault_replay`] measured while proving the reliable
+/// channel masks an unreliable network.
+#[derive(Clone, Debug)]
+pub struct FaultCheck {
+    /// Finish time of the fault-free baseline replay, in cycles.
+    pub base_finish_cycles: u64,
+    /// Finish time of the faulty replay, in cycles.
+    pub faulty_finish_cycles: u64,
+    /// Messages delivered in the faulty replay (frames, after drops).
+    pub faulty_messages: u64,
+    /// Total faults the plan injected across the cluster.
+    pub faults_injected: u64,
+    /// Cluster-wide reliable-channel totals of the faulty replay.
+    pub link: LinkStats,
+}
+
+impl FaultCheck {
+    /// Finish-time slowdown of the faulty replay over the baseline.
+    pub fn slowdown(&self) -> f64 {
+        self.faulty_finish_cycles as f64 / self.base_finish_cycles.max(1) as f64
+    }
+}
+
+/// The fault-tolerance oracle. Proves, for one trace and one fault plan,
+/// that the reliable delivery channel fully masks the injected faults:
+///
+/// 1. **Baseline**: replays the trace fault-free and asserts bit-for-bit
+///    equivalence with the recording (the [`verify_replay`] oracle).
+/// 2. **Determinism**: replays under `plan` twice and asserts the two
+///    faulty runs agree exactly — finish time, message count, every
+///    per-processor counter, every final-memory digest. Same seed, same
+///    schedule, same run.
+/// 3. **Convergence**: asserts the faulty replay reaches the same
+///    per-processor final memory content (FNV-1a digests) as the
+///    fault-free baseline, and that every processor still performed the
+///    same application-level work (Table 2 counters match the baseline).
+///
+/// Step 3 requires the recorded workload to be *lock-order independent*:
+/// barrier-partitioned or symmetric access patterns (sor, matrix, water)
+/// where shifted message timing cannot change which processor's write
+/// lands last on any shared word. Task-queue workloads (quicksort,
+/// cholesky) are not — retransmission delays legitimately reorder lock
+/// grants, and entry consistency allows every such order — so check them
+/// with [`verify_fault_determinism`] instead and leave final-state
+/// validation to the application's own verifier on a live run.
+///
+/// # Errors
+///
+/// Returns a description of the first violated property.
+pub fn verify_fault_replay(trace: &Trace, plan: FaultPlan) -> Result<FaultCheck, String> {
+    fault_check(trace, plan, true)
+}
+
+/// The lenient tier of the fault-tolerance oracle: baseline equivalence
+/// and faulty-replay determinism (steps 1–2 of [`verify_fault_replay`]),
+/// without comparing the faulty run's final state to the baseline — for
+/// workloads where lock-grant order, and with it the last writer of
+/// contended words, legitimately shifts under retransmission timing.
+///
+/// # Errors
+///
+/// Returns a description of the first violated property.
+pub fn verify_fault_determinism(trace: &Trace, plan: FaultPlan) -> Result<FaultCheck, String> {
+    fault_check(trace, plan, false)
+}
+
+fn fault_check(trace: &Trace, plan: FaultPlan, strict: bool) -> Result<FaultCheck, String> {
+    let base = verify_replay(trace).map_err(|d| format!("fault-free baseline: {d}"))?;
+
+    let cfg = trace.recorded_cfg().faults(plan);
+    let a = replay(trace, cfg).map_err(|e| format!("faulty replay failed: {e}"))?;
+    let b = replay(trace, cfg).map_err(|e| format!("faulty replay (rerun) failed: {e}"))?;
+    if a.finish_time != b.finish_time || a.messages != b.messages {
+        return Err(format!(
+            "faulty replay is nondeterministic: finish {} vs {} cycles, {} vs {} messages",
+            a.finish_time.cycles(),
+            b.finish_time.cycles(),
+            a.messages,
+            b.messages
+        ));
+    }
+    if a.counters != b.counters {
+        return Err("faulty replay is nondeterministic: counters differ between reruns".into());
+    }
+    if a.store_digests != b.store_digests {
+        return Err(
+            "faulty replay is nondeterministic: memory digests differ between reruns".into(),
+        );
+    }
+
+    if strict {
+        for (p, (base_d, got_d)) in base.store_digests.iter().zip(&a.store_digests).enumerate() {
+            if base_d != got_d {
+                return Err(format!(
+                    "faulty replay diverged: processor {p} final memory digest \
+                     {got_d:#018x} != fault-free {base_d:#018x}"
+                ));
+            }
+        }
+        for (p, (base_c, got_c)) in base.counters.iter().zip(&a.counters).enumerate() {
+            if base_c != got_c {
+                return Err(format!(
+                    "faulty replay diverged: processor {p} counters changed under faults: \
+                     fault-free {base_c:?}, faulty {got_c:?}"
+                ));
+            }
+        }
+    }
+
+    let faults_injected = a.reports.iter().map(|r| r.fault_stats.total()).sum();
+    Ok(FaultCheck {
+        base_finish_cycles: base.finish_time.cycles(),
+        faulty_finish_cycles: a.finish_time.cycles(),
+        faulty_messages: a.messages,
+        faults_injected,
+        link: a.link_totals(),
+    })
+}
+
 pub fn verify_replay(trace: &Trace) -> Result<MidwayRun<()>, String> {
     let run = replay(trace, trace.recorded_cfg()).map_err(|e| format!("replay failed: {e}"))?;
     let m = &trace.meta;

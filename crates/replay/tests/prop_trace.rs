@@ -4,7 +4,8 @@
 //! reproducible.
 
 use midway_core::{
-    AllocSpec, BackendKind, BarrierSpec, Counters, MidwayConfig, SpecBlueprint, TraceOp,
+    AllocSpec, BackendKind, BarrierSpec, Counters, FaultPlan, MidwayConfig, ReliableParams,
+    SpecBlueprint, TraceOp,
 };
 use midway_replay::{Trace, TraceError, TraceMeta};
 use midway_sim::SplitMix64;
@@ -90,6 +91,22 @@ fn random_trace(rng: &mut SplitMix64) -> Trace {
     cfg.cost.page_write_fault = rng.next_below(1 << 20);
     cfg.cost.dirtybit_read_clean_us = rng.next_f64() * 100.0;
     cfg.net = cfg.net.scaled(1 + rng.next_below(8), 1 + rng.next_below(8));
+    if rng.next_below(2) == 1 {
+        // Version 3 header fields: a fault plan and channel tuning.
+        cfg.faults = FaultPlan::seeded(rng.next_u64())
+            .drop_ppm(rng.next_below(100_000) as u32)
+            .dup_ppm(rng.next_below(100_000) as u32)
+            .reorder_ppm(rng.next_below(100_000) as u32)
+            .delay_ppm(rng.next_below(100_000) as u32);
+        cfg.faults.enabled = rng.next_below(4) != 0;
+        cfg.faults.max_delay_cycles = rng.next_below(1 << 20);
+        cfg.faults.reorder_window_cycles = rng.next_below(1 << 16);
+        cfg.reliable = ReliableParams {
+            rto_cycles: 1 + rng.next_below(1 << 21),
+            backoff_cap: rng.next_below(12) as u32,
+            timer_cost_cycles: rng.next_below(1 << 12),
+        };
+    }
     let allocs = (0..rng.next_below(5))
         .map(|i| AllocSpec {
             name: format!("a{i}"),

@@ -5,6 +5,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::clock::{Category, CpuClock, CATEGORY_COUNT};
 use crate::event::Event;
+use crate::fault::{FaultDecision, FaultPlan, FaultStats};
 use crate::net::NetModel;
 use crate::sched::{Poison, Scheduler};
 use crate::time::VirtualTime;
@@ -16,6 +17,8 @@ pub struct ClusterConfig {
     pub procs: usize,
     /// Interconnect cost model.
     pub net: NetModel,
+    /// Deterministic network fault schedule (default: perfect network).
+    pub faults: FaultPlan,
 }
 
 impl ClusterConfig {
@@ -24,12 +27,19 @@ impl ClusterConfig {
         ClusterConfig {
             procs,
             net: NetModel::default(),
+            faults: FaultPlan::none(),
         }
     }
 
     /// Replaces the network model.
     pub fn net(mut self, net: NetModel) -> ClusterConfig {
         self.net = net;
+        self
+    }
+
+    /// Replaces the fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> ClusterConfig {
+        self.faults = faults;
         self
     }
 }
@@ -56,6 +66,14 @@ pub enum SimError {
         /// The panic payload, rendered as a string where possible.
         message: String,
     },
+    /// A protocol layer detected an invariant violation and aborted the
+    /// simulation deliberately (see [`ProcHandle::protocol_violation`]).
+    ProtocolViolation {
+        /// The processor that detected the violation.
+        proc: usize,
+        /// Description of the violated invariant.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -76,6 +94,9 @@ impl std::fmt::Display for SimError {
             SimError::ProcPanicked { proc, message } => {
                 write!(f, "processor {proc} panicked: {message}")
             }
+            SimError::ProtocolViolation { proc, message } => {
+                write!(f, "protocol violation on processor {proc}: {message}")
+            }
         }
     }
 }
@@ -88,6 +109,7 @@ impl From<Poison> for SimError {
             Poison::Deadlock { blocked } => SimError::Deadlock { blocked },
             Poison::MessageToFinished { src, dst } => SimError::MessageToFinished { src, dst },
             Poison::Panic { proc, message } => SimError::ProcPanicked { proc, message },
+            Poison::Protocol { proc, message } => SimError::ProtocolViolation { proc, message },
         }
     }
 }
@@ -108,6 +130,8 @@ pub struct ProcReport {
     pub bytes_sent: u64,
     /// Messages received.
     pub msgs_received: u64,
+    /// Faults the network injected on this processor's outgoing messages.
+    pub fault_stats: FaultStats,
 }
 
 /// The result of a successful cluster run.
@@ -130,15 +154,17 @@ pub struct ProcHandle<M> {
     id: usize,
     procs: usize,
     net: NetModel,
+    faults: FaultPlan,
     sched: Arc<Scheduler<M>>,
     clock: CpuClock,
     seq: u64,
     msgs_sent: u64,
     bytes_sent: u64,
     msgs_received: u64,
+    fault_stats: FaultStats,
 }
 
-impl<M: Send> ProcHandle<M> {
+impl<M: Send + Clone> ProcHandle<M> {
     /// This processor's id, in `0..procs()`.
     pub fn id(&self) -> usize {
         self.id
@@ -152,6 +178,11 @@ impl<M: Send> ProcHandle<M> {
     /// The interconnect model in effect.
     pub fn net(&self) -> NetModel {
         self.net
+    }
+
+    /// The network fault plan in effect.
+    pub fn faults(&self) -> FaultPlan {
+        self.faults
     }
 
     /// Current virtual time on this processor.
@@ -177,7 +208,13 @@ impl<M: Send> ProcHandle<M> {
     /// Sends `msg` (declared wire size `bytes`) to processor `dst`.
     ///
     /// Charges this processor the sender-side software overhead; the message
-    /// is delivered at `now + latency + bytes/bandwidth`.
+    /// is delivered at `now + latency + bytes/bandwidth` — unless the
+    /// configured [`FaultPlan`] decides otherwise, in which case the message
+    /// may be silently dropped, duplicated, or delayed. The fault decision
+    /// is a pure function of `(plan seed, src, dst, seq)`, so the same
+    /// configuration always yields the same schedule. The sender is charged
+    /// and its counters advance identically in every case: faults are
+    /// invisible at the send site.
     ///
     /// # Panics
     ///
@@ -196,6 +233,35 @@ impl<M: Send> ProcHandle<M> {
         self.seq += 1;
         self.msgs_sent += 1;
         self.bytes_sent += bytes;
+        match self.faults.decide(self.id, dst, seq) {
+            FaultDecision::Deliver => self.post_event(deliver_at, seq, dst, msg),
+            FaultDecision::Drop => {
+                // The network ate it: the sender already paid, nothing is
+                // queued. `seq` stays consumed so later decisions on this
+                // link are independent of earlier fates.
+                self.fault_stats.dropped += 1;
+            }
+            FaultDecision::Duplicate { extra_delay } => {
+                self.fault_stats.duplicated += 1;
+                self.post_event(deliver_at, seq, dst, msg.clone());
+                // The extra copy takes its own seq so the scheduler's
+                // `(deliver_at, src, seq)` total order stays strict.
+                let dup_seq = self.seq;
+                self.seq += 1;
+                self.post_event(deliver_at + extra_delay, dup_seq, dst, msg);
+            }
+            FaultDecision::Reorder { extra_delay } => {
+                self.fault_stats.reordered += 1;
+                self.post_event(deliver_at + extra_delay, seq, dst, msg);
+            }
+            FaultDecision::Delay { extra_delay } => {
+                self.fault_stats.delayed += 1;
+                self.post_event(deliver_at + extra_delay, seq, dst, msg);
+            }
+        }
+    }
+
+    fn post_event(&mut self, deliver_at: VirtualTime, seq: u64, dst: usize, msg: M) {
         self.sched.post(Event {
             deliver_at,
             src: self.id,
@@ -265,6 +331,21 @@ impl<M: Send> ProcHandle<M> {
         }
     }
 
+    /// Aborts the simulation with a typed protocol error.
+    ///
+    /// For protocol layers that detect an invariant violation (a misrouted
+    /// message, a malformed exchange): instead of panicking — which would
+    /// surface as an opaque [`SimError::ProcPanicked`] — this poisons the
+    /// cluster with [`SimError::ProtocolViolation`] carrying this
+    /// processor's id and `message`, wakes every other thread, and unwinds
+    /// this one. It never returns.
+    pub fn protocol_violation(&mut self, message: String) -> ! {
+        std::panic::panic_any(SimAbort(Poison::Protocol {
+            proc: self.id,
+            message,
+        }))
+    }
+
     fn report(&self) -> ProcReport {
         ProcReport {
             final_time: self.clock.now(),
@@ -272,6 +353,7 @@ impl<M: Send> ProcHandle<M> {
             msgs_sent: self.msgs_sent,
             bytes_sent: self.bytes_sent,
             msgs_received: self.msgs_received,
+            fault_stats: self.fault_stats,
         }
     }
 }
@@ -293,7 +375,7 @@ impl Cluster {
     /// to a finished processor, or any closure panics.
     pub fn run<M, R, F>(cfg: ClusterConfig, f: F) -> Result<RunOutcome<R>, SimError>
     where
-        M: Send + 'static,
+        M: Send + Clone + 'static,
         R: Send,
         F: Fn(&mut ProcHandle<M>) -> R + Send + Sync,
     {
@@ -314,12 +396,14 @@ impl Cluster {
                         id,
                         procs: cfg.procs,
                         net: cfg.net,
+                        faults: cfg.faults,
                         sched: Arc::clone(&sched),
                         clock: CpuClock::new(),
                         seq: 0,
                         msgs_sent: 0,
                         bytes_sent: 0,
                         msgs_received: 0,
+                        fault_stats: FaultStats::default(),
                     };
                     let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut handle)));
                     match outcome {
@@ -534,5 +618,194 @@ mod tests {
             }
             other => panic!("expected panic report, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn protocol_violation_surfaces_typed_error() {
+        let err = Cluster::run(ClusterConfig::new(3), |p: &mut ProcHandle<Msg>| {
+            match p.id() {
+                0 => p.protocol_violation("acquire for lock 9 routed to non-home".into()),
+                1 => {
+                    // Blocked in recv when the violation fires: must be
+                    // woken, not deadlocked.
+                    p.recv();
+                }
+                _ => {
+                    // Draining when the violation fires.
+                    while p.drain_recv().is_some() {}
+                }
+            }
+        })
+        .unwrap_err();
+        match err {
+            SimError::ProtocolViolation { proc, message } => {
+                assert_eq!(proc, 0);
+                assert!(message.contains("lock 9"), "message: {message}");
+            }
+            other => panic!("expected protocol violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_with_others_blocked_and_draining_does_not_deadlock() {
+        // Satellite coverage for the poison path: the panicking processor's
+        // id and message must come through while peers sit in recv /
+        // drain_recv, and the run must terminate (no hang).
+        let err = Cluster::run(ClusterConfig::new(4), |p: &mut ProcHandle<Msg>| {
+            match p.id() {
+                2 => {
+                    p.work(10);
+                    panic!("detector state corrupt on proc {}", p.id());
+                }
+                0 => {
+                    p.recv();
+                }
+                _ => while p.drain_recv().is_some() {},
+            }
+        })
+        .unwrap_err();
+        match err {
+            SimError::ProcPanicked { proc, message } => {
+                assert_eq!(proc, 2);
+                assert!(
+                    message.contains("detector state corrupt on proc 2"),
+                    "message: {message}"
+                );
+            }
+            other => panic!("expected panic report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_poison_wins_when_multiple_procs_panic() {
+        // Whichever panic poisons first is reported; the second panic must
+        // not hang or overwrite it with nonsense. We only assert the shape.
+        let err = Cluster::run(ClusterConfig::new(2), |p: &mut ProcHandle<Msg>| {
+            panic!("boom {}", p.id());
+        })
+        .unwrap_err();
+        match err {
+            SimError::ProcPanicked { proc, message } => {
+                assert!(proc < 2);
+                assert!(
+                    message.contains(&format!("boom {proc}")),
+                    "id/message mismatch"
+                );
+            }
+            other => panic!("expected panic report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faults_disabled_is_bit_for_bit_identical() {
+        let run = |faults: crate::fault::FaultPlan| {
+            let cfg = ClusterConfig::new(2).faults(faults);
+            Cluster::run(cfg, |p: &mut ProcHandle<Msg>| {
+                if p.id() == 0 {
+                    for i in 0..10 {
+                        p.send(1, i, 8);
+                        let (_, _, echo) = p.recv();
+                        assert_eq!(echo, i);
+                    }
+                    p.now().cycles()
+                } else {
+                    for _ in 0..10 {
+                        let (_, src, m) = p.recv();
+                        p.send(src, m, 8);
+                    }
+                    p.now().cycles()
+                }
+            })
+            .unwrap()
+        };
+        let base = run(crate::fault::FaultPlan::none());
+        // Enabled plan with zero rates must not perturb anything either.
+        let zero = run(crate::fault::FaultPlan::seeded(123));
+        assert_eq!(base.results, zero.results);
+        assert_eq!(base.messages_delivered, zero.messages_delivered);
+        assert_eq!(base.finish_time, zero.finish_time);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_across_runs() {
+        let run = || {
+            let faults = crate::fault::FaultPlan::chaos(11, 150_000);
+            let cfg = ClusterConfig::new(2).faults(faults);
+            let out = Cluster::run(cfg, |p: &mut ProcHandle<Msg>| {
+                if p.id() == 0 {
+                    for i in 0..200 {
+                        p.send(1, i, 8);
+                    }
+                    0
+                } else {
+                    let mut sum = 0;
+                    while let Some((_, _, m)) = p.drain_recv() {
+                        sum += m;
+                    }
+                    sum
+                }
+            })
+            .unwrap();
+            let stats = out.reports[0].fault_stats;
+            (out.results.clone(), out.messages_delivered, stats)
+        };
+        let first = run();
+        assert!(first.2.total() > 0, "chaos plan should inject something");
+        for _ in 0..5 {
+            assert_eq!(run(), first);
+        }
+    }
+
+    #[test]
+    fn drops_and_duplicates_change_delivery_counts() {
+        let count = |faults: crate::fault::FaultPlan| {
+            let cfg = ClusterConfig::new(2).faults(faults);
+            let out = Cluster::run(cfg, |p: &mut ProcHandle<Msg>| {
+                if p.id() == 0 {
+                    for i in 0..500 {
+                        p.send(1, i, 8);
+                    }
+                }
+                let mut n = 0u64;
+                while p.drain_recv().is_some() {
+                    n += 1;
+                }
+                n
+            })
+            .unwrap();
+            (out.results[1], out.reports[0].fault_stats)
+        };
+        let (clean, _) = count(crate::fault::FaultPlan::seeded(3));
+        assert_eq!(clean, 500);
+        let (lossy, ls) = count(crate::fault::FaultPlan::lossy(3, 200_000));
+        assert_eq!(lossy, 500 - ls.dropped);
+        assert!(ls.dropped > 0);
+        let (dupped, ds) = count(crate::fault::FaultPlan::seeded(3).dup_ppm(200_000));
+        assert_eq!(dupped, 500 + ds.duplicated);
+        assert!(ds.duplicated > 0);
+    }
+
+    #[test]
+    fn delayed_messages_arrive_late_but_arrive() {
+        let faults = crate::fault::FaultPlan::seeded(17).delay_ppm(300_000);
+        let cfg = ClusterConfig::new(2).net(NetModel::ideal()).faults(faults);
+        let out = Cluster::run(cfg, |p: &mut ProcHandle<Msg>| {
+            if p.id() == 0 {
+                for i in 0..100 {
+                    p.send(1, i, 8);
+                }
+                0
+            } else {
+                let mut got: Vec<u64> = Vec::new();
+                while let Some((_, _, m)) = p.drain_recv() {
+                    got.push(m);
+                }
+                got.sort_unstable();
+                got.len() as u64
+            }
+        })
+        .unwrap();
+        assert_eq!(out.results[1], 100, "delay must never lose a message");
+        assert!(out.reports[0].fault_stats.delayed > 0);
     }
 }

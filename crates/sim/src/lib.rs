@@ -42,6 +42,7 @@
 mod clock;
 mod cluster;
 mod event;
+mod fault;
 mod net;
 mod rng;
 mod sched;
@@ -49,6 +50,7 @@ mod time;
 
 pub use clock::{Category, CpuClock, CATEGORY_COUNT};
 pub use cluster::{Cluster, ClusterConfig, ProcHandle, ProcReport, RunOutcome, SimError};
+pub use fault::{FaultDecision, FaultPlan, FaultStats};
 pub use net::NetModel;
 pub use rng::SplitMix64;
 pub use time::VirtualTime;

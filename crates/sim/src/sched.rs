@@ -49,6 +49,10 @@ pub(crate) enum Poison {
     MessageToFinished { src: usize, dst: usize },
     /// An application closure panicked.
     Panic { proc: usize, message: String },
+    /// A protocol layer detected an invariant violation (e.g. a message
+    /// routed to a processor that does not own the addressed resource) and
+    /// aborted deliberately instead of panicking.
+    Protocol { proc: usize, message: String },
 }
 
 pub(crate) struct SchedInner<M> {

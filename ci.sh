@@ -48,4 +48,20 @@ cargo run --release -q -p midway-replay --bin trace -- \
 cargo run --release -q -p midway-replay --bin trace -- \
     info "$smoke/sor-rt.mwt" >/dev/null
 
+echo "==> racecheck smoke"
+# Clean apps must report zero findings and every seeded mutant must be
+# detected (the harness exits nonzero otherwise)...
+cargo run --release -q -p midway-bench --bin racecheck -- \
+    --scale small --procs 4 --backend rt --out "$smoke/racecheck.json"
+# ...and a trace recorded without the checker must replay bit-for-bit
+# with it attached (the off-clock guarantee against a file on disk).
+cargo run --release -q -p midway-replay --bin trace -- \
+    racecheck "$smoke/sor-rt.mwt"
+# Same check against a pre-existing cached trace when one is around
+# (results/traces/ is gitignored, so only on a warmed checkout).
+if [ -f results/traces/cholesky-small-4p-rt.mwt ]; then
+    cargo run --release -q -p midway-replay --bin trace -- \
+        racecheck results/traces/cholesky-small-4p-rt.mwt
+fi
+
 echo "==> ci.sh: all green"

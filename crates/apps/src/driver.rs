@@ -92,6 +92,9 @@ pub struct AppOutcome {
     pub traces: Vec<Vec<TraceOp>>,
     /// The system blueprint, captured when recording.
     pub blueprint: Option<SpecBlueprint>,
+    /// The dynamic checker's report (present when the run was configured
+    /// with `MidwayConfig::check`).
+    pub check: Option<midway_core::CheckReport>,
 }
 
 impl AppOutcome {
@@ -116,6 +119,7 @@ fn erase<R>(kind: AppKind, run: MidwayRun<R>, verified: bool) -> AppOutcome {
         verified,
         traces: run.traces,
         blueprint: run.blueprint,
+        check: run.check,
     }
 }
 

@@ -22,6 +22,7 @@
 
 pub mod cholesky;
 pub mod matmul;
+pub mod mutants;
 pub mod quicksort;
 pub mod sor;
 pub mod water;

@@ -1,0 +1,143 @@
+//! Race-detection harness: the dynamic checker's clean-application
+//! matrix, mutant detection table, and live-checking overhead probe.
+//!
+//! Every clean application must be finding-free on every data-moving
+//! backend, and every seeded mutant must be detected with its planted
+//! kind and provenance; the harness exits nonzero otherwise, so `ci.sh`
+//! uses it as a smoke test. `--backend NAME` restricts the matrix to one
+//! backend; `--overhead` times one live application with and without the
+//! checker attached (the EXPERIMENTS.md number).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use midway_apps::mutants::{run_mutant, MutantKind};
+use midway_apps::{run_app, AppKind};
+use midway_bench::{banner, BenchArgs};
+use midway_core::{report, BackendKind, FindingKind, MidwayConfig};
+use midway_stats::TextTable;
+
+fn main() -> ExitCode {
+    let args = BenchArgs::parse();
+    banner("Race check: clean matrix and mutant detection", &args);
+    let backends: Vec<BackendKind> = match args.value("--backend") {
+        Some(name) => vec![BackendKind::from_cli_name(name).expect("--backend")],
+        None => BackendKind::DATA.to_vec(),
+    };
+    let mut ok = true;
+
+    // The zero-false-positive matrix: finding totals, all of which must
+    // be zero (the checker's event count is shown so "clean" is visibly
+    // not "idle").
+    let headers: Vec<String> = ["app".to_string()]
+        .into_iter()
+        .chain(backends.iter().map(|b| b.cli_name().to_string()))
+        .chain(["events".to_string()])
+        .collect();
+    let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut clean = TextTable::new(&headers).left_cols(1);
+    for app in AppKind::all() {
+        let mut cells = vec![app.label().to_string()];
+        let mut events = 0;
+        for backend in &backends {
+            let cfg = MidwayConfig::new(args.procs, *backend).check(true);
+            let out = run_app(app, cfg, args.scale);
+            assert!(out.verified, "{app:?} failed verification");
+            let r = out.check.expect("checker ran");
+            if !r.is_clean() {
+                eprintln!(
+                    "FALSE POSITIVE: {} under {}: {}",
+                    app.label(),
+                    backend.label(),
+                    r.summary()
+                );
+                ok = false;
+            }
+            events = events.max(r.events);
+            cells.push(r.total().to_string());
+        }
+        cells.push(events.to_string());
+        clean.row(&cells);
+    }
+    println!("{clean}");
+
+    // The true-positive table: per-kind finding counts, and whether the
+    // planted bug was reported with its planted provenance.
+    let kind_headers: Vec<&str> = ["mutant", "backend"]
+        .into_iter()
+        .chain(FindingKind::ALL.iter().map(|k| k.label()))
+        .chain(["verdict"])
+        .collect();
+    let mut mutants = TextTable::new(&kind_headers).left_cols(2);
+    for kind in MutantKind::ALL {
+        for backend in &backends {
+            let (run, expect) = run_mutant(kind, MidwayConfig::new(args.procs, *backend));
+            let r = run.check.expect("checker ran");
+            let detected = r
+                .first_of(expect.kind)
+                .is_some_and(|f| f.proc == expect.proc && f.alloc.as_deref() == Some(expect.alloc));
+            if !detected {
+                eprintln!(
+                    "MISSED MUTANT: {} under {}: wanted {:?} by proc {} in {:?}, got {}",
+                    kind.label(),
+                    backend.label(),
+                    expect.kind,
+                    expect.proc,
+                    expect.alloc,
+                    r.summary()
+                );
+                ok = false;
+            }
+            let mut cells = vec![kind.label().to_string(), backend.cli_name().to_string()];
+            cells.extend(
+                report::check_counts(&r)
+                    .iter()
+                    .take(FindingKind::ALL.len())
+                    .map(|(_, n)| n.to_string()),
+            );
+            cells.push(if detected { "detected" } else { "MISSED" }.to_string());
+            mutants.row(&cells);
+        }
+    }
+    println!("{mutants}");
+
+    if args.flag("--overhead") {
+        let app = args
+            .value("--app")
+            .map(|s| {
+                AppKind::all()
+                    .into_iter()
+                    .find(|k| k.label() == s)
+                    .expect("--app")
+            })
+            .unwrap_or(AppKind::Sor);
+        let backend = backends[0];
+        let time = |check: bool| {
+            let cfg = MidwayConfig::new(args.procs, backend).check(check);
+            (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let out = run_app(app, cfg, args.scale);
+                    assert!(out.verified);
+                    t0.elapsed().as_secs_f64()
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let plain = time(false);
+        let checked = time(true);
+        println!(
+            "live-checking overhead: {} on {}: {plain:.2} s plain, {checked:.2} s checked \
+             ({:+.1}% host time; virtual time identical by construction)",
+            app.label(),
+            backend.label(),
+            (checked / plain - 1.0) * 100.0
+        );
+    }
+
+    args.emit_tables("racecheck", &[("clean", &clean), ("mutants", &mutants)]);
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

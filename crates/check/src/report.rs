@@ -1,0 +1,245 @@
+//! Findings and the per-run checker report.
+
+use std::fmt;
+
+/// The four entry-consistency violations the checker detects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// A store to shared, bound data not covered by any exclusively held
+    /// lock's binding or by the writer's own barrier partition.
+    UnguardedWrite,
+    /// A load of shared, bound data not covered by any held lock's
+    /// binding or any barrier binding.
+    UnguardedRead,
+    /// A load of a line whose most recent write does not happen-before
+    /// the reader's current vector clock.
+    StaleRead,
+    /// An access that misses every current binding but falls inside
+    /// ranges a currently-held lock was bound to before a `rebind`.
+    BindingViolation,
+}
+
+impl FindingKind {
+    /// Every kind, in severity/report order.
+    pub const ALL: [FindingKind; 4] = [
+        FindingKind::UnguardedWrite,
+        FindingKind::UnguardedRead,
+        FindingKind::StaleRead,
+        FindingKind::BindingViolation,
+    ];
+
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FindingKind::UnguardedWrite => "unguarded-write",
+            FindingKind::UnguardedRead => "unguarded-read",
+            FindingKind::StaleRead => "stale-read",
+            FindingKind::BindingViolation => "binding-violation",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FindingKind::UnguardedWrite => 0,
+            FindingKind::UnguardedRead => 1,
+            FindingKind::StaleRead => 2,
+            FindingKind::BindingViolation => 3,
+        }
+    }
+}
+
+/// Stale-read provenance: who wrote the line the reader missed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Staleness {
+    /// The processor whose write the reader has not synchronized with.
+    pub writer: usize,
+    /// The writer's virtual time at the write.
+    pub write_at: u64,
+}
+
+/// One deduplicated finding with full provenance.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// What went wrong.
+    pub kind: FindingKind,
+    /// The processor that performed the offending access.
+    pub proc: usize,
+    /// The processor's virtual time (cycles) at the access.
+    pub at: u64,
+    /// First byte of the offending access.
+    pub addr: u64,
+    /// Access length in bytes.
+    pub len: u32,
+    /// The allocation the address falls in, for readable reports.
+    pub alloc: Option<String>,
+    /// For [`FindingKind::BindingViolation`]: the held, rebound lock
+    /// whose former ranges the access fell in.
+    pub lock: Option<u32>,
+    /// For [`FindingKind::StaleRead`]: the missed write.
+    pub stale: Option<Staleness>,
+    /// How many occurrences collapsed into this finding.
+    pub occurrences: u64,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} proc {} at cycle {}: {:#x}+{}",
+            self.kind.label(),
+            self.proc,
+            self.at,
+            self.addr,
+            self.len
+        )?;
+        if let Some(a) = &self.alloc {
+            write!(f, " in \"{a}\"")?;
+        }
+        if let Some(l) = self.lock {
+            write!(f, " (outside rebound lock {l}'s current binding)")?;
+        }
+        if let Some(s) = self.stale {
+            write!(
+                f,
+                " (missed write by proc {} at cycle {})",
+                s.writer, s.write_at
+            )?;
+        }
+        if self.occurrences > 1 {
+            write!(f, " [x{}]", self.occurrences)?;
+        }
+        Ok(())
+    }
+}
+
+/// Findings kept in the report; further occurrences only bump counts.
+pub const MAX_FINDINGS: usize = 256;
+
+/// Per-processor transfer-apply statistics (the checker's view of the
+/// data-moving path it hooks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    /// Grant/barrier payload applications observed.
+    pub count: u64,
+    /// Update bytes those applications installed.
+    pub bytes: u64,
+}
+
+/// The result of analyzing one run's event logs.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Deduplicated findings (at most [`MAX_FINDINGS`]), in the merged
+    /// virtual-time order they were first detected.
+    pub findings: Vec<Finding>,
+    /// Total occurrences per kind, indexed like [`FindingKind::ALL`]
+    /// (exact even when the findings list is capped).
+    pub counts: [u64; 4],
+    /// Events analyzed across all processors.
+    pub events: u64,
+    /// Per-processor transfer-apply activity.
+    pub applies: Vec<ApplyStats>,
+}
+
+impl CheckReport {
+    /// Total occurrences of `kind`.
+    pub fn count(&self, kind: FindingKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total occurrences across all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether the run was free of findings.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// The first finding of `kind`, if any survived the cap.
+    pub fn first_of(&self, kind: FindingKind) -> Option<&Finding> {
+        self.findings.iter().find(|f| f.kind == kind)
+    }
+
+    /// One-line summary for CLI output.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            format!("clean ({} events analyzed)", self.events)
+        } else {
+            let per: Vec<String> = FindingKind::ALL
+                .iter()
+                .filter(|k| self.count(**k) > 0)
+                .map(|k| format!("{} {}", self.count(*k), k.label()))
+                .collect();
+            format!("{} findings: {}", self.total(), per.join(", "))
+        }
+    }
+
+    pub(crate) fn record(&mut self, finding: Finding, dedup_hit: Option<usize>) {
+        self.counts[finding.kind.index()] += 1;
+        match dedup_hit {
+            Some(i) => self.findings[i].occurrences += 1,
+            None if self.findings.len() < MAX_FINDINGS => self.findings.push(finding),
+            None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_survive_the_findings_cap() {
+        let mut r = CheckReport::default();
+        for i in 0..(MAX_FINDINGS + 10) {
+            r.record(
+                Finding {
+                    kind: FindingKind::UnguardedWrite,
+                    proc: 0,
+                    at: i as u64,
+                    addr: i as u64 * 64,
+                    len: 4,
+                    alloc: None,
+                    lock: None,
+                    stale: None,
+                    occurrences: 1,
+                },
+                None,
+            );
+        }
+        assert_eq!(r.findings.len(), MAX_FINDINGS);
+        assert_eq!(
+            r.count(FindingKind::UnguardedWrite),
+            (MAX_FINDINGS + 10) as u64
+        );
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn summary_lists_only_present_kinds() {
+        let mut r = CheckReport::default();
+        assert!(r.summary().starts_with("clean"));
+        r.record(
+            Finding {
+                kind: FindingKind::StaleRead,
+                proc: 1,
+                at: 5,
+                addr: 0x100,
+                len: 8,
+                alloc: Some("edges".into()),
+                lock: None,
+                stale: Some(Staleness {
+                    writer: 0,
+                    write_at: 3,
+                }),
+                occurrences: 1,
+            },
+            None,
+        );
+        assert_eq!(r.summary(), "1 findings: 1 stale-read");
+        let shown = format!("{}", r.findings[0]);
+        assert!(shown.contains("stale-read proc 1"), "{shown}");
+        assert!(shown.contains("missed write by proc 0"), "{shown}");
+    }
+}

@@ -1,5 +1,6 @@
 //! The application-facing per-processor API.
 
+use midway_check::CheckLog;
 use midway_mem::{Addr, AddrRange};
 use midway_proto::{BarrierId, LockId, Mode};
 use midway_sim::{ProcHandle, VirtualTime};
@@ -28,6 +29,16 @@ pub struct Proc<'a> {
 }
 
 impl Proc<'_> {
+    /// Runs `f` against the checker log (when checking is on) with this
+    /// processor's current virtual time. Strictly off-clock: nothing here
+    /// touches the simulator's accounting.
+    #[inline]
+    fn check_with(&mut self, f: impl FnOnce(&mut CheckLog, u64)) {
+        if let Some(log) = &mut self.node.check {
+            f(log, self.h.now().cycles());
+        }
+    }
+
     #[inline]
     fn record_with(&mut self, op: impl FnOnce() -> TraceOp) {
         if let Some(rec) = &mut self.rec {
@@ -84,12 +95,15 @@ impl Proc<'_> {
 
     /// Reads element `i` of `a` from the local cache.
     pub fn read<T: Scalar>(&mut self, a: &SharedArray<T>, i: usize) -> T {
-        T::load(&mut self.node.store, a.addr(i))
+        let addr = a.addr(i);
+        self.check_with(|log, at| log.read(at, addr.raw(), T::SIZE as u32));
+        T::load(&mut self.node.store, addr)
     }
 
     /// Writes element `i` of `a`, running write detection first.
     pub fn write<T: Scalar>(&mut self, a: &SharedArray<T>, i: usize, v: T) {
         let addr = a.addr(i);
+        self.check_with(|log, at| log.write(at, addr.raw(), T::SIZE as u32));
         self.node.trap_write(self.h, addr, T::SIZE);
         T::store_to(&mut self.node.store, addr, v);
         self.record_write(addr, T::SIZE);
@@ -102,9 +116,16 @@ impl Proc<'_> {
         if values.is_empty() {
             return;
         }
+        if start + values.len() > a.len() {
+            self.h.app_violation(format!(
+                "slice write out of bounds: elements {start}..{} of array of length {}",
+                start + values.len(),
+                a.len()
+            ));
+        }
         let addr = a.addr(start);
-        assert!(start + values.len() <= a.len(), "slice write out of bounds");
         let len = values.len() * T::SIZE;
+        self.check_with(|log, at| log.write(at, addr.raw(), len as u32));
         self.node.trap_write(self.h, addr, len);
         for (k, v) in values.iter().enumerate() {
             T::store_to(&mut self.node.store, a.addr(start + k), *v);
@@ -116,6 +137,7 @@ impl Proc<'_> {
     /// stores the bytes verbatim. This is the replay path for recorded
     /// [`TraceOp::Write`] operations; applications use the typed writes.
     pub fn write_raw(&mut self, addr: Addr, data: &[u8]) {
+        self.check_with(|log, at| log.write(at, addr.raw(), data.len() as u32));
         self.node.trap_write(self.h, addr, data.len());
         self.node.store.write_bytes(addr, data);
         self.record_write(addr, data.len());
@@ -133,6 +155,7 @@ impl Proc<'_> {
     /// Acquires `lock` exclusively (for writing).
     pub fn acquire(&mut self, lock: LockId) {
         self.node.acquire(self.h, lock, Mode::Exclusive);
+        self.check_with(|log, at| log.acquire(at, lock.0, true));
         self.record_with(|| TraceOp::Acquire {
             lock: lock.0,
             exclusive: true,
@@ -142,6 +165,7 @@ impl Proc<'_> {
     /// Acquires `lock` in non-exclusive mode (for reading).
     pub fn acquire_shared(&mut self, lock: LockId) {
         self.node.acquire(self.h, lock, Mode::Shared);
+        self.check_with(|log, at| log.acquire(at, lock.0, false));
         self.record_with(|| TraceOp::Acquire {
             lock: lock.0,
             exclusive: false,
@@ -150,6 +174,7 @@ impl Proc<'_> {
 
     /// Releases an exclusive hold of `lock`.
     pub fn release(&mut self, lock: LockId) {
+        self.check_with(|log, at| log.release(at, lock.0, true));
         self.node.release(self.h, lock, Mode::Exclusive);
         self.record_with(|| TraceOp::Release {
             lock: lock.0,
@@ -159,6 +184,7 @@ impl Proc<'_> {
 
     /// Releases a non-exclusive hold of `lock`.
     pub fn release_shared(&mut self, lock: LockId) {
+        self.check_with(|log, at| log.release(at, lock.0, false));
         self.node.release(self.h, lock, Mode::Shared);
         self.record_with(|| TraceOp::Release {
             lock: lock.0,
@@ -168,6 +194,7 @@ impl Proc<'_> {
 
     /// Rebinds `lock` to `ranges`; the caller must hold it exclusively.
     pub fn rebind(&mut self, lock: LockId, ranges: Vec<AddrRange>) {
+        self.check_with(|log, at| log.rebind(at, lock.0, ranges.clone()));
         self.record_with(|| TraceOp::Rebind {
             lock: lock.0,
             ranges: ranges.clone(),
@@ -177,7 +204,9 @@ impl Proc<'_> {
 
     /// Crosses `barrier`, making its bound data consistent everywhere.
     pub fn barrier(&mut self, barrier: BarrierId) {
+        self.check_with(|log, at| log.barrier_enter(at, barrier.0));
         self.node.barrier(self.h, barrier);
+        self.check_with(|log, at| log.barrier_exit(at, barrier.0));
         self.record_with(|| TraceOp::Barrier { barrier: barrier.0 });
     }
 

@@ -133,6 +133,12 @@ pub struct MidwayConfig {
     /// Reliable-channel tuning (retransmit timeout, backoff cap, timer
     /// cost). Only consulted when `faults` is enabled.
     pub reliable: ReliableParams,
+    /// Run the dynamic entry-consistency checker alongside the program.
+    /// Strictly off-clock: every virtual clock, wire size, counter and
+    /// trace is bit-for-bit identical with checking on or off; the run's
+    /// [`MidwayRun::check`](crate::MidwayRun::check) report is the only
+    /// observable difference.
+    pub check: bool,
 }
 
 impl MidwayConfig {
@@ -147,6 +153,7 @@ impl MidwayConfig {
             record: false,
             faults: FaultPlan::none(),
             reliable: ReliableParams::atm_cluster(),
+            check: false,
         }
     }
 
@@ -183,6 +190,12 @@ impl MidwayConfig {
     /// Replaces the reliable-channel tuning.
     pub fn reliable(mut self, reliable: ReliableParams) -> MidwayConfig {
         self.reliable = reliable;
+        self
+    }
+
+    /// Turns the dynamic entry-consistency checker on or off.
+    pub fn check(mut self, on: bool) -> MidwayConfig {
+        self.check = on;
         self
     }
 }

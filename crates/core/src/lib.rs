@@ -58,6 +58,7 @@ pub use setup::{Scalar, SharedArray, SystemBuilder, SystemSpec};
 pub use trace::{AllocSpec, BarrierSpec, SpecBlueprint, TraceOp};
 
 // Re-export the identifiers applications need.
+pub use midway_check::{ApplyStats, CheckReport, CheckSpec, Finding, FindingKind, Staleness};
 pub use midway_mem::AddrRange;
 pub use midway_proto::{BarrierId, LinkStats, LockId, Mode, ReliableParams};
 pub use midway_sim::{FaultPlan, FaultStats, NetModel, SimError, SplitMix64, VirtualTime};

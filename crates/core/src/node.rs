@@ -14,6 +14,7 @@
 
 use std::sync::Arc;
 
+use midway_check::CheckLog;
 use midway_mem::{Addr, LocalStore};
 use midway_proto::{BarrierId, BarrierSite, Binding, HomeLock, LamportClock, LockId, Mode};
 use midway_sim::{Category, ProcHandle};
@@ -64,6 +65,11 @@ pub(crate) struct DsmNode {
     tick_pending: bool,
     pub(crate) link: LinkLayer,
     pub(crate) counters: Counters,
+    /// The dynamic checker's event log, present when
+    /// [`MidwayConfig::check`] is on. Strictly off-clock: appended to
+    /// outside the virtual-time accounting, never consulted by the
+    /// protocol.
+    pub(crate) check: Option<CheckLog>,
 }
 
 /// Builds a [`DetectCx`] from disjoint borrows of a node plus a charging
@@ -138,6 +144,7 @@ impl DsmNode {
             tick_pending: false,
             link: LinkLayer::new(procs, cfg.faults.enabled, cfg.reliable),
             counters: Counters::default(),
+            check: cfg.check.then(CheckLog::new),
             spec,
         }
     }

@@ -96,6 +96,9 @@ impl DsmNode {
     ) {
         let idx = lock.0 as usize;
         self.counters.data_bytes_received += payload.data_bytes();
+        if let Some(log) = &mut self.check {
+            log.apply(h.now().cycles(), payload.data_bytes());
+        }
         if !matches!(payload, GrantPayload::Current) {
             // Temporarily detach the binding so the detector can install
             // the payload's binding without aliasing the node.

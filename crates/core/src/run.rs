@@ -40,6 +40,11 @@ pub struct MidwayRun<R> {
     /// The system blueprint, captured when recording (everything the
     /// `midway-replay` crate needs to rebuild the run's `SystemSpec`).
     pub blueprint: Option<SpecBlueprint>,
+    /// The dynamic entry-consistency checker's report, present when the
+    /// run was configured with [`MidwayConfig::check`]. Checking is
+    /// strictly off-clock, so every other field is bit-for-bit identical
+    /// with it on or off.
+    pub check: Option<midway_check::CheckReport>,
 }
 
 impl<R> MidwayRun<R> {
@@ -113,14 +118,14 @@ impl Midway {
             "the standalone backend only supports one processor"
         );
         let blueprint = cfg.record.then(|| SpecBlueprint::capture(spec));
-        let spec = Arc::clone(spec);
+        let run_spec = Arc::clone(spec);
         let cluster = ClusterConfig {
             procs: cfg.procs,
             net: cfg.net,
             faults: cfg.faults,
         };
         let out = Cluster::run(cluster, move |h: &mut midway_sim::ProcHandle<NetMsg>| {
-            let node = DsmNode::new(h.id(), cfg, Arc::clone(&spec));
+            let node = DsmNode::new(h.id(), cfg, Arc::clone(&run_spec));
             let mut proc = Proc {
                 node,
                 h,
@@ -129,12 +134,14 @@ impl Midway {
             let r = f(&mut proc);
             proc.node.finalize(proc.h);
             let digest = proc.node.store.digest();
+            let check_log = proc.node.check.take();
             (
                 r,
                 proc.node.counters,
                 proc.node.link.stats,
                 digest,
                 proc.rec.take(),
+                check_log,
             )
         })?;
         let mut results = Vec::with_capacity(out.results.len());
@@ -142,7 +149,8 @@ impl Midway {
         let mut link = Vec::with_capacity(out.results.len());
         let mut store_digests = Vec::with_capacity(out.results.len());
         let mut traces = Vec::new();
-        for (r, c, l, d, t) in out.results {
+        let mut check_logs = Vec::new();
+        for (r, c, l, d, t, k) in out.results {
             results.push(r);
             counters.push(c);
             link.push(l);
@@ -150,7 +158,13 @@ impl Midway {
             if let Some(t) = t {
                 traces.push(t);
             }
+            if let Some(k) = k {
+                check_logs.push(k.into_events());
+            }
         }
+        let check = cfg
+            .check
+            .then(|| midway_check::analyze(&spec.check_spec(), &check_logs));
         Ok(MidwayRun {
             results,
             counters,
@@ -162,6 +176,7 @@ impl Midway {
             cfg,
             traces,
             blueprint,
+            check,
         })
     }
 }

@@ -242,6 +242,26 @@ impl SystemSpec {
     pub fn barriers(&self) -> usize {
         self.barriers.len()
     }
+
+    /// The system description the dynamic entry-consistency checker
+    /// analyzes accesses against: the layout plus every initial lock and
+    /// barrier binding.
+    pub fn check_spec(&self) -> midway_check::CheckSpec {
+        midway_check::CheckSpec {
+            layout: Arc::clone(&self.layout),
+            locks: self.locks.iter().map(|b| b.ranges().to_vec()).collect(),
+            barriers: self
+                .barriers
+                .iter()
+                .map(|(b, parts)| midway_check::BarrierRanges {
+                    ranges: b.ranges().to_vec(),
+                    partitions: parts
+                        .as_ref()
+                        .map(|ps| ps.iter().map(|p| p.ranges().to_vec()).collect()),
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 //! ```text
 //! trace record --app sor [--backend rt] [--scale small] [--procs 8] [--out FILE]
 //! trace replay FILE [--backend rt|vm|blast|twinall|hybrid] [--fault-us N] [--check]
+//! trace racecheck FILE
 //! trace info FILE
 //! trace diff A B
 //! trace sweep FILE [--points N] [--live]
@@ -11,7 +12,10 @@
 //!
 //! `sweep` runs the Figure 3/4 page-fault-cost sweep from one trace,
 //! and with `--live` also re-executes the application at every sweep
-//! point to measure the wall-clock advantage of replaying.
+//! point to measure the wall-clock advantage of replaying. `racecheck`
+//! replays a trace bit-for-bit with the dynamic entry-consistency
+//! checker attached and reports its findings (write and synchronization
+//! rules only — reads are local and never recorded).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,7 +24,8 @@ use std::time::Instant;
 use midway_apps::{run_app, AppKind, Scale};
 use midway_core::{report, BackendKind, Counters, FaultPlan, MidwayConfig, MidwayRun};
 use midway_replay::{
-    record_app, replay, verify_fault_determinism, verify_fault_replay, verify_replay, Trace,
+    racecheck_replay, record_app, replay, verify_fault_determinism, verify_fault_replay,
+    verify_replay, Trace,
 };
 use midway_stats::{FaultSweep, TextTable};
 
@@ -32,6 +37,7 @@ const USAGE: &str = "usage:
                [--loss PPM] [--dup PPM] [--reorder PPM] [--delay PPM] [--fault-seed N]
   trace faultcheck <FILE> [--loss PPM] [--dup PPM] [--reorder PPM] [--delay PPM]
                [--fault-seed N] [--lenient]
+  trace racecheck <FILE>
   trace info   <FILE>
   trace diff   <A> <B>
   trace sweep  <FILE> [--points N] [--live]";
@@ -42,6 +48,7 @@ fn main() -> ExitCode {
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("faultcheck") => cmd_faultcheck(&args[1..]),
+        Some("racecheck") => cmd_racecheck(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
@@ -317,6 +324,44 @@ fn cmd_faultcheck(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_racecheck(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [path] = pos.as_slice() else {
+        return Err("racecheck takes exactly one trace file".to_string());
+    };
+    let trace = load(path)?;
+    println!(
+        "== race check: {} ({} on {}) ==",
+        path,
+        trace.meta.app,
+        trace.meta.cfg.backend.label()
+    );
+    let t0 = Instant::now();
+    let run =
+        racecheck_replay(&trace).map_err(|d| format!("replay diverged from recording: {d}"))?;
+    let report = run.check.expect("racecheck_replay enables checking");
+    println!("equivalence:  bit-for-bit identical to the recorded run");
+    let applies: u64 = report.applies.iter().map(|a| a.count).sum();
+    let apply_bytes: u64 = report.applies.iter().map(|a| a.bytes).sum();
+    println!(
+        "events:       {} checked, {applies} update applications ({apply_bytes} bytes)",
+        report.events
+    );
+    println!(
+        "checked in:   {:.2} s host time",
+        t0.elapsed().as_secs_f64()
+    );
+    if report.is_clean() {
+        println!("findings:     none");
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!("findings:     {}", report.summary());
+    for f in &report.findings {
+        println!("  {f}");
+    }
+    Ok(ExitCode::FAILURE)
+}
+
 fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
     let pos = positional(args);
     let [path] = pos.as_slice() else {
@@ -362,6 +407,54 @@ fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
         t.row(&[p.to_string(), ops.len().to_string(), bytes.to_string()]);
     }
     println!("\n{t}");
+    if !trace.blueprint.locks.is_empty() {
+        let mut acquires = vec![0u64; trace.blueprint.locks.len()];
+        let mut rebinds = vec![0u64; trace.blueprint.locks.len()];
+        for op in trace.ops.iter().flatten() {
+            match op {
+                midway_core::TraceOp::Acquire { lock, .. } => acquires[*lock as usize] += 1,
+                midway_core::TraceOp::Rebind { lock, .. } => rebinds[*lock as usize] += 1,
+                _ => {}
+            }
+        }
+        let nlocks = trace.blueprint.locks.len();
+        let mut active: Vec<usize> = (0..nlocks)
+            .filter(|&l| acquires[l] + rebinds[l] > 0)
+            .collect();
+        let rebound = active.iter().filter(|&&l| rebinds[l] > 0).count();
+        println!(
+            "lock bindings: {nlocks} locks: {} acquired, {rebound} rebound, {} never used; \
+             {} acquires and {} rebinds in total",
+            active.len(),
+            nlocks - active.len(),
+            acquires.iter().sum::<u64>(),
+            rebinds.iter().sum::<u64>(),
+        );
+        const SHOWN: usize = 12;
+        active.sort_by_key(|&l| std::cmp::Reverse((acquires[l], rebinds[l])));
+        let mut t = TextTable::new(&[
+            "lock",
+            "initial ranges",
+            "bound bytes",
+            "acquires",
+            "rebinds",
+        ]);
+        for &l in active.iter().take(SHOWN) {
+            let ranges = &trace.blueprint.locks[l];
+            let bytes: u64 = ranges.iter().map(|r| r.end - r.start).sum();
+            t.row(&[
+                l.to_string(),
+                ranges.len().to_string(),
+                bytes.to_string(),
+                acquires[l].to_string(),
+                rebinds[l].to_string(),
+            ]);
+        }
+        println!("{t}");
+        if active.len() > SHOWN {
+            println!("({} more active locks not shown)", active.len() - SHOWN);
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }
 

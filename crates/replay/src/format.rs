@@ -580,6 +580,8 @@ pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
         record: false,
         faults,
         reliable,
+        // Checking is a per-replay choice, never a property of the file.
+        check: false,
     };
 
     let nallocs = r.len(4)?;

@@ -48,7 +48,8 @@ pub struct TraceMeta {
     pub scale: String,
     /// Whether the recorded run verified its own output.
     pub verified: bool,
-    /// The full configuration of the recorded run (`record` forced off).
+    /// The full configuration of the recorded run (`record` and `check`
+    /// forced off: both are per-run choices, not properties of the file).
     pub cfg: MidwayConfig,
     /// The recorded run's finish time, in cycles.
     pub finish_cycles: u64,
@@ -87,7 +88,7 @@ impl Trace {
                 app: app.to_string(),
                 scale: scale.to_string(),
                 verified,
-                cfg: run.cfg.record(false),
+                cfg: run.cfg.record(false).check(false),
                 finish_cycles: run.finish_time.cycles(),
                 messages: run.messages,
                 counters: run.counters.clone(),
@@ -113,7 +114,7 @@ impl Trace {
                 app: outcome.kind.label().to_string(),
                 scale: scale.label().to_string(),
                 verified: outcome.verified,
-                cfg: outcome.cfg.record(false),
+                cfg: outcome.cfg.record(false).check(false),
                 finish_cycles: outcome.finish_time.cycles(),
                 messages: outcome.messages,
                 counters: outcome.counters.clone(),
@@ -393,7 +394,34 @@ fn fault_check(trace: &Trace, plan: FaultPlan, strict: bool) -> Result<FaultChec
 
 pub fn verify_replay(trace: &Trace) -> Result<MidwayRun<()>, String> {
     let run = replay(trace, trace.recorded_cfg()).map_err(|e| format!("replay failed: {e}"))?;
-    let m = &trace.meta;
+    check_meta(&run, &trace.meta)?;
+    Ok(run)
+}
+
+/// Replays `trace` under its recorded configuration with the dynamic
+/// entry-consistency checker attached, and asserts the checked replay is
+/// still bit-for-bit identical to the recording — the checker's off-clock
+/// guarantee, exercised against a real recorded run. The returned run's
+/// [`MidwayRun::check`](midway_core::MidwayRun::check) holds the report.
+///
+/// Traces record shared *writes* and synchronization but not reads (reads
+/// are local and free under entry consistency), so a trace-driven check
+/// covers the write and synchronization rules only; run live with
+/// [`MidwayConfig::check`] for read coverage.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence from the recorded
+/// baseline, or the simulation error.
+pub fn racecheck_replay(trace: &Trace) -> Result<MidwayRun<()>, String> {
+    let run = replay(trace, trace.recorded_cfg().check(true))
+        .map_err(|e| format!("checked replay failed: {e}"))?;
+    check_meta(&run, &trace.meta)?;
+    Ok(run)
+}
+
+/// Asserts a replay is bit-for-bit identical to the recorded baseline.
+fn check_meta(run: &MidwayRun<()>, m: &TraceMeta) -> Result<(), String> {
     if run.finish_time.cycles() != m.finish_cycles {
         return Err(format!(
             "finish time diverged: recorded {} cycles, replayed {}",
@@ -414,5 +442,5 @@ pub fn verify_replay(trace: &Trace) -> Result<MidwayRun<()>, String> {
             ));
         }
     }
-    Ok(run)
+    Ok(())
 }

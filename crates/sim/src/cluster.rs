@@ -74,6 +74,15 @@ pub enum SimError {
         /// Description of the violated invariant.
         message: String,
     },
+    /// The runtime detected an application-level misuse of the DSM API —
+    /// e.g. an out-of-bounds shared write — and aborted deliberately
+    /// (see [`ProcHandle::app_violation`]).
+    AppViolation {
+        /// The processor whose application misused the API.
+        proc: usize,
+        /// Description of the misuse.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -97,6 +106,9 @@ impl std::fmt::Display for SimError {
             SimError::ProtocolViolation { proc, message } => {
                 write!(f, "protocol violation on processor {proc}: {message}")
             }
+            SimError::AppViolation { proc, message } => {
+                write!(f, "application violation on processor {proc}: {message}")
+            }
         }
     }
 }
@@ -110,6 +122,7 @@ impl From<Poison> for SimError {
             Poison::MessageToFinished { src, dst } => SimError::MessageToFinished { src, dst },
             Poison::Panic { proc, message } => SimError::ProcPanicked { proc, message },
             Poison::Protocol { proc, message } => SimError::ProtocolViolation { proc, message },
+            Poison::App { proc, message } => SimError::AppViolation { proc, message },
         }
     }
 }
@@ -341,6 +354,20 @@ impl<M: Send + Clone> ProcHandle<M> {
     /// this one. It never returns.
     pub fn protocol_violation(&mut self, message: String) -> ! {
         std::panic::panic_any(SimAbort(Poison::Protocol {
+            proc: self.id,
+            message,
+        }))
+    }
+
+    /// Aborts the simulation with a typed application-misuse error.
+    ///
+    /// Like [`ProcHandle::protocol_violation`], but for runtime layers
+    /// that catch the *application* breaking the API contract (an
+    /// out-of-bounds shared write, say): the cluster is poisoned with
+    /// [`SimError::AppViolation`] carrying this processor's id and
+    /// `message` instead of an opaque panic. It never returns.
+    pub fn app_violation(&mut self, message: String) -> ! {
+        std::panic::panic_any(SimAbort(Poison::App {
             proc: self.id,
             message,
         }))

@@ -53,6 +53,9 @@ pub(crate) enum Poison {
     /// routed to a processor that does not own the addressed resource) and
     /// aborted deliberately instead of panicking.
     Protocol { proc: usize, message: String },
+    /// The runtime detected an application-level misuse of the DSM API
+    /// (e.g. an out-of-bounds shared write) and aborted deliberately.
+    App { proc: usize, message: String },
 }
 
 pub(crate) struct SchedInner<M> {

@@ -48,6 +48,25 @@ cargo run --release -q -p midway-replay --bin trace -- \
 cargo run --release -q -p midway-replay --bin trace -- \
     info "$smoke/sor-rt.mwt" >/dev/null
 
+echo "==> hostperf smoke"
+# The host-performance basket at smoke size: exercises the chunked diff /
+# dirtybit-scan / digest hot paths and both backends end to end, and
+# emits the wall-clock JSON (no baseline comparison at smoke scale).
+cargo run --release -q -p midway-bench --bin hostperf -- \
+    --smoke --out "$smoke/hostperf.json"
+
+echo "==> replay determinism gate over committed traces"
+# Every cached trace in results/traces/ must still replay bit-for-bit —
+# the end-to-end oracle that host-perf changes cannot have altered any
+# simulation result (results/traces/ is gitignored, so this runs on a
+# warmed checkout and is a no-op on a fresh one).
+if compgen -G "results/traces/*.mwt" >/dev/null; then
+    for t in results/traces/*.mwt; do
+        cargo run --release -q -p midway-replay --bin trace -- \
+            replay "$t" --check >/dev/null
+    done
+fi
+
 echo "==> racecheck smoke"
 # Clean apps must report zero findings and every seeded mutant must be
 # detected (the harness exits nonzero otherwise)...

@@ -16,7 +16,7 @@
 //! evaluated by replaying the trace against a rebuilt system — the
 //! recorded byte stream is independent of the coherency unit.
 
-use midway_bench::{BenchArgs, Json};
+use midway_bench::{run_cells, BenchArgs, Json};
 use midway_core::{BackendKind, Counters, Midway, MidwayConfig, MidwayRun, Proc, SystemBuilder};
 use midway_replay::{replay_on, verify_replay, Trace};
 use midway_stats::{fmt_f64, fmt_u64, TextTable};
@@ -89,15 +89,20 @@ fn main() {
             "dirtybits set",
             "bits scanned",
         ]);
-        for elems_per_line in [1usize, 4, 16, 64, 512] {
+        // Every line size replays the same in-memory trace read-only: one
+        // cell per line size, rows joined in sweep order.
+        let rows = run_cells(args.jobs, vec![1usize, 4, 16, 64, 512], |elems_per_line| {
             let (ms, kb, set, scanned) = measure(&trace, elems_per_line);
-            t.row(&[
+            [
                 fmt_u64(8 * elems_per_line as u64),
                 fmt_f64(ms, 1),
                 fmt_f64(kb, 1),
                 fmt_u64(set),
                 fmt_u64(scanned),
-            ]);
+            ]
+        });
+        for row in &rows {
+            t.row(row);
         }
         println!("{t}");
         tables.push((key, t));

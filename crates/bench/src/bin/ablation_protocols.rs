@@ -22,7 +22,7 @@
 //! estimated network constants.
 
 use midway_apps::{run_app, AppKind, AppOutcome};
-use midway_bench::{banner, cached_trace, replay_outcome, BenchArgs, Json};
+use midway_bench::{banner, cached_trace, replay_outcome, run_cells, BenchArgs, Json};
 use midway_core::{BackendKind, MidwayConfig, NetModel};
 use midway_replay::replay;
 use midway_stats::{fmt_f64, TextTable};
@@ -53,7 +53,9 @@ fn main() {
         "Hybrid MB",
     ]);
     let mut apps_json = Vec::new();
-    for app in AppKind::all() {
+    // One cell per application: the five backends of an app share its
+    // cached RT trace, so they stay inside one cell.
+    let app_outs = run_cells(args.jobs, AppKind::all().into_iter().collect(), |app| {
         let outs: Vec<AppOutcome> = if args.flag("--live") {
             eprintln!("running {} (live) ...", app.label());
             BACKENDS
@@ -71,6 +73,9 @@ fn main() {
                 .map(|b| replay_outcome(&trace, app, b))
                 .collect()
         };
+        (app, outs)
+    });
+    for (app, outs) in app_outs {
         let mut cells = vec![app.label().to_string()];
         cells.extend(outs.iter().map(|o| fmt_f64(o.exec_secs, 1)));
         cells.extend(outs.iter().map(|o| fmt_f64(o.data_mb_total, 2)));
@@ -108,7 +113,9 @@ fn main() {
             "App", "RT 0.5x", "VM 0.5x", "RT 1x", "VM 1x", "RT 2x", "VM 2x",
         ]);
         let mut sweep_json = Vec::new();
-        for app in AppKind::all() {
+        // The main loop above already warmed each app's trace cache, so
+        // these per-app cells only read it.
+        let rows = run_cells(args.jobs, AppKind::all().into_iter().collect(), |app| {
             let trace = (!args.flag("--live")).then(|| cached_trace(&args, app, BackendKind::Rt));
             let mut cells = vec![app.label().to_string()];
             let mut points = Vec::new();
@@ -137,6 +144,9 @@ fn main() {
                     ]));
                 }
             }
+            (app, cells, points)
+        });
+        for (app, cells, points) in rows {
             t.row(&cells);
             sweep_json.push(Json::obj([
                 ("app", Json::str(app.label())),

@@ -17,7 +17,7 @@
 //! seeds the schedule (default 1).
 
 use midway_apps::AppKind;
-use midway_bench::{banner, cached_trace, replay_outcome, BenchArgs, Json};
+use midway_bench::{banner, cached_trace, replay_outcome, run_cells, BenchArgs, Json};
 use midway_core::{BackendKind, FaultPlan};
 use midway_replay::replay;
 use midway_stats::{fmt_f64, TextTable};
@@ -58,7 +58,10 @@ fn main() {
         "dup frames",
     ]);
     let mut points_json = Vec::new();
-    for backend in BackendKind::DATA {
+    // One cell per backend, all sharing the already-recorded trace
+    // read-only; each cell sweeps its loss rates sequentially because
+    // they compare against the cell's own trusted-network baseline.
+    let sweeps = run_cells(args.jobs, BackendKind::DATA.to_vec(), |backend| {
         // The trusted-network baseline: no fault plan, no framing. Same-
         // backend replays go through the bit-for-bit equivalence oracle.
         let base = replay_outcome(&trace, app, backend);
@@ -74,6 +77,8 @@ fn main() {
                 .expect("trusted-network baseline replay")
                 .store_digests
         };
+        let mut rows = Vec::new();
+        let mut points = Vec::new();
         for loss in LOSS_PPM {
             let mut cfg = trace.recorded_cfg();
             cfg.backend = backend;
@@ -90,7 +95,7 @@ fn main() {
             }
             let link = run.link_totals();
             let ms = cfg.cost.cycles_to_millis(run.finish_time.cycles());
-            t.row(&[
+            rows.push([
                 backend.label().to_string(),
                 fmt_f64(f64::from(loss) / 10_000.0, 2),
                 fmt_f64(ms, 1),
@@ -99,7 +104,7 @@ fn main() {
                 link.acks_sent.to_string(),
                 link.dup_frames_dropped.to_string(),
             ]);
-            points_json.push(Json::obj([
+            points.push(Json::obj([
                 ("backend", Json::str(backend.cli_name())),
                 ("loss_ppm", Json::U64(u64::from(loss))),
                 ("finish_ms", Json::F64(ms)),
@@ -111,6 +116,13 @@ fn main() {
                 ("data_frames", Json::U64(link.data_frames_sent)),
             ]));
         }
+        (rows, points)
+    });
+    for (rows, points) in sweeps {
+        for row in &rows {
+            t.row(row);
+        }
+        points_json.extend(points);
     }
     println!("{t}");
     println!("\nSlowdown is against the same backend on the trusted network (no");

@@ -11,7 +11,9 @@
 //! invocations replay the cached traces (`--live` forces live runs).
 
 use midway_apps::{run_app, AppKind};
-use midway_bench::{banner, cached_trace_with, replay_outcome, rt_vm_outcomes, BenchArgs, Json};
+use midway_bench::{
+    banner, cached_trace_with, replay_outcome, rt_vm_outcomes, run_cells, BenchArgs, Json,
+};
 use midway_core::{BackendKind, MidwayConfig};
 use midway_stats::{fmt_f64, TextTable};
 
@@ -31,7 +33,9 @@ fn main() {
         "VM data (MB)",
     ]);
     let mut apps_json = Vec::new();
-    for app in AppKind::all() {
+    // One cell per application (each owns its trace files); the table is
+    // assembled from the joined results in app order below.
+    let cells = run_cells(args.jobs, AppKind::all().into_iter().collect(), |app| {
         let solo = if args.flag("--live") {
             let out = run_app(app, MidwayConfig::standalone(), args.scale);
             assert!(out.verified, "{app:?} standalone failed verification");
@@ -42,6 +46,9 @@ fn main() {
         };
         let (rt1, vm1) = rt_vm_outcomes(&args, app, 1);
         let (rt, vm) = rt_vm_outcomes(&args, app, procs);
+        (app, solo, rt1, vm1, rt, vm)
+    });
+    for (app, solo, rt1, vm1, rt, vm) in cells {
         t.row(&[
             app.label().to_string(),
             fmt_f64(solo.exec_secs, 1),

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use midway_apps::mutants::{run_mutant, MutantKind};
 use midway_apps::{run_app, AppKind};
-use midway_bench::{banner, BenchArgs};
+use midway_bench::{banner, run_cells, BenchArgs};
 use midway_core::{report, BackendKind, FindingKind, MidwayConfig};
 use midway_stats::TextTable;
 
@@ -36,9 +36,12 @@ fn main() -> ExitCode {
         .collect();
     let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut clean = TextTable::new(&headers).left_cols(1);
-    for app in AppKind::all() {
+    // Every (app × backends) row is a live, isolated run: one cell per
+    // app, rows joined in app order.
+    let clean_rows = run_cells(args.jobs, AppKind::all().into_iter().collect(), |app| {
         let mut cells = vec![app.label().to_string()];
         let mut events = 0;
+        let mut row_ok = true;
         for backend in &backends {
             let cfg = MidwayConfig::new(args.procs, *backend).check(true);
             let out = run_app(app, cfg, args.scale);
@@ -51,12 +54,16 @@ fn main() -> ExitCode {
                     backend.label(),
                     r.summary()
                 );
-                ok = false;
+                row_ok = false;
             }
             events = events.max(r.events);
             cells.push(r.total().to_string());
         }
         cells.push(events.to_string());
+        (cells, row_ok)
+    });
+    for (cells, row_ok) in clean_rows {
+        ok &= row_ok;
         clean.row(&cells);
     }
     println!("{clean}");
@@ -69,7 +76,9 @@ fn main() -> ExitCode {
         .chain(["verdict"])
         .collect();
     let mut mutants = TextTable::new(&kind_headers).left_cols(2);
-    for kind in MutantKind::ALL {
+    let mutant_rows = run_cells(args.jobs, MutantKind::ALL.to_vec(), |kind| {
+        let mut rows = Vec::new();
+        let mut kind_ok = true;
         for backend in &backends {
             let (run, expect) = run_mutant(kind, MidwayConfig::new(args.procs, *backend));
             let r = run.check.expect("checker ran");
@@ -86,7 +95,7 @@ fn main() -> ExitCode {
                     expect.alloc,
                     r.summary()
                 );
-                ok = false;
+                kind_ok = false;
             }
             let mut cells = vec![kind.label().to_string(), backend.cli_name().to_string()];
             cells.extend(
@@ -96,7 +105,14 @@ fn main() -> ExitCode {
                     .map(|(_, n)| n.to_string()),
             );
             cells.push(if detected { "detected" } else { "MISSED" }.to_string());
-            mutants.row(&cells);
+            rows.push(cells);
+        }
+        (rows, kind_ok)
+    });
+    for (rows, kind_ok) in mutant_rows {
+        ok &= kind_ok;
+        for row in &rows {
+            mutants.row(row);
         }
     }
     println!("{mutants}");

@@ -181,6 +181,7 @@ fn twin_all_collect(
     binding: &Binding,
 ) -> UpdateSet {
     let mut set = UpdateSet::new();
+    let mut diff = midway_mem::diff::PageDiff::default();
     for (region_id, page_range) in binding.page_spans(&cx.spec.layout) {
         let desc = cx
             .spec
@@ -191,7 +192,7 @@ fn twin_all_collect(
             let offset = page << PAGE_SHIFT;
             let len = PAGE_SIZE.min(desc.used - offset);
             let page_base = desc.base() + offset as u64;
-            let current = cx.store.bytes(page_base, len).to_vec();
+            let current = cx.store.bytes(page_base, len);
             let charge = &mut *cx.charge;
             let cost = cx.cost;
             let twin = twins.entry((region_id, page)).or_insert_with(|| {
@@ -201,7 +202,7 @@ fn twin_all_collect(
                 charge(Category::WriteCollect, cost.copy_cycles(len, false));
                 vec![0u8; len].into_boxed_slice()
             });
-            let diff = midway_mem::diff::PageDiff::compute(&current, twin);
+            midway_mem::diff::PageDiff::compute_into(&mut diff, current, twin);
             (cx.charge)(
                 Category::WriteCollect,
                 cx.cost.page_diff_cycles(diff.run_count(), len / 4),

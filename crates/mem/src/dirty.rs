@@ -101,6 +101,78 @@ impl DirtyBits {
     /// or it carries a timestamp greater than `last_seen`.
     pub fn scan(&mut self, range: std::ops::Range<usize>, last_seen: u64, now: u64) -> ScanOutcome {
         let mut out = ScanOutcome::default();
+        self.scan_into(&mut out, range, last_seen, now);
+        out
+    }
+
+    /// [`scan`](DirtyBits::scan) into a caller-owned outcome, so the `lines`
+    /// vector's capacity survives across scans. Clears `out` first.
+    ///
+    /// Scans blocks of lines at a time: a line is *interesting* iff
+    /// `v == DIRTY || v > last_seen`, which (with `DIRTY == 0`) is exactly
+    /// `v.wrapping_sub(1) >= last_seen` — one branch-free comparison per
+    /// line lets the all-clean block fast path skip the per-line work that
+    /// dominates steady-state scans.
+    pub fn scan_into(
+        &mut self,
+        out: &mut ScanOutcome,
+        range: std::ops::Range<usize>,
+        last_seen: u64,
+        now: u64,
+    ) {
+        out.lines.clear();
+        out.clean_reads = 0;
+        out.dirty_reads = 0;
+        const BLOCK: usize = 8;
+        let mut line = range.start;
+        let end = range.end;
+        while line + BLOCK <= end {
+            let block = &self.bits[line..line + BLOCK];
+            let mut any = false;
+            for &v in block {
+                any |= v.wrapping_sub(1) >= last_seen;
+            }
+            if !any {
+                out.clean_reads += BLOCK as u64;
+                line += BLOCK;
+                continue;
+            }
+            for i in line..line + BLOCK {
+                Self::scan_one(&mut self.bits, out, i, last_seen, now);
+            }
+            line += BLOCK;
+        }
+        for i in line..end {
+            Self::scan_one(&mut self.bits, out, i, last_seen, now);
+        }
+    }
+
+    #[inline]
+    fn scan_one(bits: &mut [u64], out: &mut ScanOutcome, line: usize, last_seen: u64, now: u64) {
+        let v = bits[line];
+        if v == DIRTY {
+            bits[line] = now;
+            out.dirty_reads += 1;
+            out.lines.push(line);
+        } else if v > last_seen {
+            out.dirty_reads += 1;
+            out.lines.push(line);
+        } else {
+            out.clean_reads += 1;
+        }
+    }
+
+    /// The line-at-a-time reference implementation of [`DirtyBits::scan`]
+    /// (`DirtyBits::scan`), kept as the equivalence oracle for the
+    /// chunked hot path: property tests assert the two agree on random
+    /// arrays, and `hostperf` times both.
+    pub fn scan_reference(
+        &mut self,
+        range: std::ops::Range<usize>,
+        last_seen: u64,
+        now: u64,
+    ) -> ScanOutcome {
+        let mut out = ScanOutcome::default();
         for line in range {
             let v = self.bits[line];
             if v == DIRTY {
@@ -318,6 +390,45 @@ mod tests {
         bits.stamp(2, 7);
         let out = bits.scan(0..4, EPOCH, 9);
         assert_eq!(out.lines, vec![0, 2]);
+    }
+
+    #[test]
+    fn chunked_scan_matches_reference_on_block_edges() {
+        // 20 lines: two full 8-line blocks plus a 4-line tail, with
+        // interesting lines placed at block seams and in the tail.
+        for interesting in [vec![], vec![0], vec![7, 8], vec![15, 16, 19], vec![17]] {
+            let mut a = DirtyBits::new(20);
+            let mut b = DirtyBits::new(20);
+            for (i, &line) in interesting.iter().enumerate() {
+                if i % 2 == 0 {
+                    a.mark(line);
+                    b.mark(line);
+                } else {
+                    a.stamp(line, 50);
+                    b.stamp(line, 50);
+                }
+            }
+            let got = a.scan(0..20, 10, 99);
+            let want = b.scan_reference(0..20, 10, 99);
+            assert_eq!(got.lines, want.lines, "interesting {interesting:?}");
+            assert_eq!(got.dirty_reads, want.dirty_reads);
+            assert_eq!(got.clean_reads, want.clean_reads);
+            assert_eq!(a.bits, b.bits, "lazy stamping must match");
+        }
+    }
+
+    #[test]
+    fn scan_into_reuses_and_clears_the_outcome() {
+        let mut bits = DirtyBits::new(16);
+        bits.mark(3);
+        let mut out = ScanOutcome::default();
+        bits.scan_into(&mut out, 0..16, 5, 20);
+        assert_eq!(out.lines, vec![3]);
+        // Second scan over now-clean lines fully resets the outcome.
+        bits.scan_into(&mut out, 0..16, 25, 30);
+        assert!(out.lines.is_empty());
+        assert_eq!(out.dirty_reads, 0);
+        assert_eq!(out.clean_reads, 16);
     }
 
     #[test]

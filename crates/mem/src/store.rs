@@ -107,6 +107,72 @@ impl LocalStore {
     pub fn digest(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
+        // FNV-1a folds a zero byte as `hash ^= 0; hash *= PRIME`, i.e. a
+        // bare multiply — so a run of n zero bytes is one multiply by
+        // PRIME^n, which lets both all-zero chunks of materialized regions
+        // and whole unmaterialized regions skip the byte loop while
+        // producing the exact same digest.
+        const PRIME8: u64 = {
+            let mut p = 1u64;
+            let mut i = 0;
+            while i < 8 {
+                p = p.wrapping_mul(PRIME);
+                i += 1;
+            }
+            p
+        };
+        fn prime_pow(mut n: u64) -> u64 {
+            let mut base = PRIME;
+            let mut acc = 1u64;
+            while n > 0 {
+                if n & 1 == 1 {
+                    acc = acc.wrapping_mul(base);
+                }
+                base = base.wrapping_mul(base);
+                n >>= 1;
+            }
+            acc
+        }
+        let mut hash = OFFSET;
+        let eat = |hash: &mut u64, b: u8| {
+            *hash ^= u64::from(b);
+            *hash = hash.wrapping_mul(PRIME);
+        };
+        for (idx, slot) in self.regions.iter().enumerate() {
+            let used = self.layout.region(idx).map_or(0, |d| d.used);
+            for b in (idx as u64).to_le_bytes() {
+                eat(&mut hash, b);
+            }
+            match slot {
+                Some(region) => {
+                    let mut chunks = region.chunks_exact(8);
+                    for chunk in &mut chunks {
+                        if u64::from_ne_bytes(chunk.try_into().expect("8 bytes")) == 0 {
+                            hash = hash.wrapping_mul(PRIME8);
+                        } else {
+                            for &b in chunk {
+                                eat(&mut hash, b);
+                            }
+                        }
+                    }
+                    for &b in chunks.remainder() {
+                        eat(&mut hash, b);
+                    }
+                }
+                None => {
+                    hash = hash.wrapping_mul(prime_pow(used as u64));
+                }
+            }
+        }
+        hash
+    }
+
+    /// The byte-at-a-time reference implementation of
+    /// [`digest`](LocalStore::digest), kept as the equivalence oracle for
+    /// the chunked hot path.
+    pub fn digest_reference(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut hash = OFFSET;
         let mut eat = |b: u8| {
             hash ^= u64::from(b);
@@ -226,6 +292,27 @@ mod tests {
         assert_ne!(zero.digest(), written.digest());
         written.write_u64(a.addr, 0);
         assert_eq!(zero.digest(), written.digest());
+    }
+
+    #[test]
+    fn chunked_digest_matches_reference() {
+        // Region sizes chosen to exercise the 8-byte chunk remainder, the
+        // all-zero chunk fast path, and the unmaterialized power-of-PRIME
+        // path all at once.
+        let mut b = LayoutBuilder::new();
+        let a = b.alloc("a", 100, MemClass::Shared, 3); // 12 chunks + 4 tail
+        let c = b.alloc("b", 64, MemClass::Shared, 3);
+        let _untouched = b.alloc("c", 37, MemClass::Private, 3);
+        let layout = b.build();
+        let mut s = LocalStore::new(layout);
+        assert_eq!(s.digest(), s.digest_reference());
+        s.write_u64(a.addr + 16, 0xDEAD_BEEF_0123_4567);
+        s.write_bytes(a.addr + 95, &[1, 2, 3, 4, 5]); // dirties the tail
+        s.write_u32(c.addr + 60, 7);
+        assert_eq!(s.digest(), s.digest_reference());
+        // Zeroing back still agrees (all-zero chunks now materialized).
+        s.write_u64(a.addr + 16, 0);
+        assert_eq!(s.digest(), s.digest_reference());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! derives from a fixed seed and is exactly reproducible.
 
 use midway_mem::diff::{PageDiff, WORD};
+use midway_mem::{DirtyBits, EPOCH};
 use midway_sim::SplitMix64;
 
 /// A random `(current, twin)` page pair of equal length in `1..=512`.
@@ -71,6 +72,91 @@ fn restrict_is_an_intersection() {
         // Word granularity may pull in up to WORD-1 bytes past the cut.
         let safe = boundary.saturating_sub(boundary % WORD);
         assert_eq!(&rebuilt[..safe], &cur[..safe], "case {case}");
+    }
+}
+
+/// The chunked `PageDiff::compute` is byte-for-byte equivalent to the
+/// byte-at-a-time reference implementation: same runs, same offsets, same
+/// data, over random page/twin pairs with varied lengths (exercising
+/// partial tail chunks and tail words) and both dense and sparse change
+/// patterns.
+#[test]
+fn chunked_compute_matches_reference() {
+    let mut rng = SplitMix64::new(0xd1ff_0005);
+    for case in 0..512 {
+        // Lengths deliberately spread around chunk (16) and word (4)
+        // boundaries, up to several KiB.
+        let len = 1 + rng.next_below(4096) as usize;
+        let twin: Vec<u8> = (0..len).map(|_| rng.next_below(256) as u8).collect();
+        let mut cur = twin.clone();
+        match case % 3 {
+            // Sparse: a handful of scattered single-byte changes.
+            0 => {
+                for _ in 0..1 + rng.next_below(8) {
+                    let i = rng.next_below(len as u64) as usize;
+                    cur[i] ^= 1 + rng.next_below(255) as u8;
+                }
+            }
+            // Dense: most bytes redrawn.
+            1 => {
+                for b in cur.iter_mut() {
+                    if rng.next_below(4) != 0 {
+                        *b = rng.next_below(256) as u8;
+                    }
+                }
+            }
+            // One contiguous dirty span (the common write pattern).
+            _ => {
+                let start = rng.next_below(len as u64) as usize;
+                let span = 1 + rng.next_below((len - start) as u64) as usize;
+                for b in &mut cur[start..start + span] {
+                    *b = rng.next_below(256) as u8;
+                }
+            }
+        }
+        let chunked = PageDiff::compute(&cur, &twin);
+        let reference = PageDiff::compute_reference(&cur, &twin);
+        assert_eq!(chunked, reference, "case {case}, len {len}");
+    }
+}
+
+/// The chunked `DirtyBits::scan` is equivalent to the line-at-a-time
+/// reference: same lines sent, same read counts, same lazy stamping — over
+/// random dirtybit arrays with mixed dirty / stamped / clean lines and
+/// random scan windows.
+#[test]
+fn chunked_scan_matches_reference() {
+    let mut rng = SplitMix64::new(0xd1ff_0006);
+    for case in 0..512 {
+        let lines = 1 + rng.next_below(600) as usize;
+        let last_seen = EPOCH + rng.next_below(40);
+        let now = last_seen + 1 + rng.next_below(40);
+        let mut a = DirtyBits::new(lines);
+        let mut b = DirtyBits::new(lines);
+        for line in 0..lines {
+            match rng.next_below(8) {
+                0 => {
+                    a.mark(line);
+                    b.mark(line);
+                }
+                1 | 2 => {
+                    let ts = EPOCH + rng.next_below(80);
+                    a.stamp(line, ts);
+                    b.stamp(line, ts);
+                }
+                _ => {} // stays at EPOCH
+            }
+        }
+        let start = rng.next_below(lines as u64) as usize;
+        let end = start + rng.next_below((lines - start + 1) as u64) as usize;
+        let got = a.scan(start..end, last_seen, now);
+        let want = b.scan_reference(start..end, last_seen, now);
+        assert_eq!(got.lines, want.lines, "case {case}");
+        assert_eq!(got.dirty_reads, want.dirty_reads, "case {case}");
+        assert_eq!(got.clean_reads, want.clean_reads, "case {case}");
+        for line in 0..lines {
+            assert_eq!(a.get(line), b.get(line), "case {case}: lazy stamp diverged");
+        }
     }
 }
 

@@ -70,31 +70,35 @@ pub fn collect(
     now: u64,
 ) -> RtScan {
     let mut out = RtScan::default();
+    // One scan buffer reused across regions, and the dirtybit array borrow
+    // held across the line loop — no per-line region re-lookup, no per-line
+    // copy of the shipped bytes.
+    let mut scan = midway_mem::ScanOutcome::default();
     for (region_id, lines) in binding.line_spans(layout) {
         let desc = layout.region(region_id).expect("bound region exists");
         let shift = desc.line_shift;
         let used = desc.used;
         let base = desc.base();
         let bits = dirty.bits_mut(layout, region_id);
-        let scan = bits.scan(lines, last_seen, now);
+        bits.scan_into(&mut scan, lines, last_seen, now);
         out.clean_reads += scan.clean_reads;
         out.dirty_reads += scan.dirty_reads;
-        for line in scan.lines {
+        for &line in &scan.lines {
             let offset = line << shift;
             let len = (1usize << shift).min(used - offset);
             let addr = base + offset as u64;
-            let ts = dirty.bits_mut(layout, region_id).get(line);
-            let data = store.bytes(addr, len).to_vec();
+            let ts = bits.get(line);
+            let data = store.bytes(addr, len);
             // Coalesce runs of adjacent lines with equal timestamps into
             // one item (Midway's update format packs runs; per-line items
             // would waste five bytes of header per word line).
             match out.set.items.last_mut() {
                 Some(prev) if prev.ts == ts && prev.addr + prev.data.len() as u64 == addr.raw() => {
-                    prev.data.extend_from_slice(&data);
+                    prev.data.extend_from_slice(data);
                 }
                 _ => out.set.items.push(UpdateItem {
                     addr: addr.raw(),
-                    data,
+                    data: data.to_vec(),
                     ts,
                 }),
             }

@@ -56,6 +56,9 @@ pub fn collect(
         diff_runs: Vec::new(),
         pages_cleaned: 0,
     };
+    // One diff buffer reused across every page of the pass — the hot loop
+    // neither copies the page out of the store nor allocates per diff.
+    let mut diff = PageDiff::default();
     for (region_id, page_range) in binding.page_spans(layout) {
         let desc = layout.region(region_id).expect("bound region exists");
         let used = desc.used;
@@ -63,9 +66,9 @@ pub fn collect(
             let offset = page << PAGE_SHIFT;
             let len = (1usize << PAGE_SHIFT).min(used - offset);
             let page_base = desc.base() + offset as u64;
-            let current = store.bytes(page_base, len).to_vec();
+            let current = store.bytes(page_base, len);
             let twin = pages.twin(region_id, page).expect("dirty page has twin");
-            let diff = PageDiff::compute(&current, twin);
+            PageDiff::compute_into(&mut diff, current, twin);
             out.pages_diffed += 1;
             out.diff_runs.push((diff.run_count(), len / 4));
             let bound = binding.ranges_in_page(region_id, page);
@@ -77,7 +80,7 @@ pub fn collect(
                     ts: 0,
                 });
             }
-            if diff.covered_by(&bound) {
+            if diff.changed_bytes() == restricted.changed_bytes() {
                 pages.clean(region_id, page);
                 out.pages_cleaned += 1;
             } else {

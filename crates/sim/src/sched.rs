@@ -67,9 +67,17 @@ pub(crate) struct SchedInner<M> {
     pub delivered: u64,
 }
 
+/// The scheduler: one shared state mutex plus **one condvar per
+/// processor**. Exactly one thread ever waits on `cvs[i]` — processor
+/// `i`'s own — so delivering an event wakes only its destination
+/// (`notify_one` on that slot) instead of storming every blocked thread
+/// through a global condvar. On a host with fewer cores than simulated
+/// processors the global-notify design made every delivery pay `procs`
+/// wakeups and `procs` mutex reacquisitions; the per-processor slots cut
+/// that to one.
 pub(crate) struct Scheduler<M> {
     pub inner: Mutex<SchedInner<M>>,
-    pub cv: Condvar,
+    cvs: Vec<Condvar>,
 }
 
 impl<M> Scheduler<M> {
@@ -97,7 +105,7 @@ impl<M> Scheduler<M> {
                 poison: None,
                 delivered: 0,
             }),
-            cv: Condvar::new(),
+            cvs: (0..procs).map(|_| Condvar::new()).collect(),
         }
     }
 
@@ -140,7 +148,12 @@ impl<M> Scheduler<M> {
                     return Ok(None);
                 }
                 Slot::Empty => {
-                    inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+                    // Waiting on this processor's own slot: only a
+                    // delivery addressed here (or poison/quiesce) wakes
+                    // this thread.
+                    inner = self.cvs[me]
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             }
         }
@@ -188,19 +201,31 @@ impl<M> Scheduler<M> {
         self.lock().delivered
     }
 
+    /// Records a fatal condition (first poison wins) and wakes every
+    /// waiter — each processor's condvar is notified exactly once, not
+    /// `procs` redundant broadcasts.
     fn poison_locked(&self, inner: &mut SchedInner<M>, p: Poison) {
         if inner.poison.is_none() {
             inner.poison = Some(p);
         }
-        self.cv.notify_all();
+        for cv in &self.cvs {
+            cv.notify_one();
+        }
     }
 
     /// Delivers the minimal pending event, or detects deadlock/quiescence.
     /// Must be called with `running == 0`.
+    ///
+    /// The hot path — one event delivered to a blocked destination —
+    /// performs no allocation and wakes exactly one thread. The deadlock
+    /// report (which does allocate) is built only in the empty-queue arm,
+    /// after the deadlock has actually been detected.
     fn dispatch(&self, inner: &mut SchedInner<M>) {
         debug_assert_eq!(inner.running, 0);
         if inner.poison.is_some() {
-            self.cv.notify_all();
+            for cv in &self.cvs {
+                cv.notify_one();
+            }
             return;
         }
         match inner.queue.pop() {
@@ -214,7 +239,11 @@ impl<M> Scheduler<M> {
                     inner.procs[ev.dst] = ProcState::Running;
                     inner.running = 1;
                     inner.delivered += 1;
-                    self.cv.notify_all();
+                    // Targeted wakeup: only the destination has anything
+                    // to do. If the destination is the caller itself it
+                    // has not started waiting yet; it re-checks its slot
+                    // before sleeping, so the notify is not needed there.
+                    self.cvs[ev.dst].notify_one();
                 }
                 ProcState::Done => {
                     self.poison_locked(
@@ -229,26 +258,130 @@ impl<M> Scheduler<M> {
                 ProcState::Running => unreachable!("running proc while dispatching"),
             },
             None => {
-                let blocked: Vec<usize> = inner
-                    .procs
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| **s == ProcState::Blocked)
-                    .map(|(i, _)| i)
-                    .collect();
-                if !blocked.is_empty() {
+                if inner.procs.contains(&ProcState::Blocked) {
+                    let blocked: Vec<usize> = inner
+                        .procs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| **s == ProcState::Blocked)
+                        .map(|(i, _)| i)
+                        .collect();
                     self.poison_locked(inner, Poison::Deadlock { blocked });
                 } else {
-                    // Everyone is Draining or Done and nothing is in flight:
-                    // release the drainers.
+                    // Everyone is Draining or Done and nothing is in
+                    // flight: release the drainers — and wake only them.
                     for (i, s) in inner.procs.iter().enumerate() {
                         if *s == ProcState::Draining {
                             inner.slots[i] = Slot::Quiesce;
+                            self.cvs[i].notify_one();
                         }
                     }
-                    self.cv.notify_all();
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::VirtualTime;
+
+    fn ev(src: usize, dst: usize, at: u64, seq: u64, msg: u32) -> Event<u32> {
+        Event {
+            deliver_at: VirtualTime::ZERO + at,
+            src,
+            seq,
+            dst,
+            msg,
+        }
+    }
+
+    /// Deadlock through the per-proc wakeup path: the report lists only
+    /// the processors stuck in `recv`, not the drainers, and *every*
+    /// waiter — blocked and draining alike — is woken with the poison.
+    #[test]
+    fn deadlock_wakes_blocked_and_draining_and_lists_only_blocked() {
+        let sched: Scheduler<u32> = Scheduler::new(3);
+        std::thread::scope(|s| {
+            let blocked = s.spawn(|| sched.block_recv(0, false));
+            let draining = s.spawn(|| sched.block_recv(1, true));
+            // Proc 2 finishes last: its transition to running == 0 with an
+            // empty queue is what detects the deadlock.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            sched.finish(2);
+            let b = blocked.join().unwrap();
+            let d = draining.join().unwrap();
+            assert_eq!(b, Err(Poison::Deadlock { blocked: vec![0] }));
+            assert_eq!(d, Err(Poison::Deadlock { blocked: vec![0] }));
+        });
+    }
+
+    /// Quiescence through the per-proc wakeup path: when every processor
+    /// is draining or done and nothing is in flight, the drainers are
+    /// released with `Ok(None)`.
+    #[test]
+    fn quiesce_releases_all_drainers() {
+        let sched: Scheduler<u32> = Scheduler::new(3);
+        std::thread::scope(|s| {
+            let a = s.spawn(|| sched.block_recv(0, true));
+            let b = s.spawn(|| sched.block_recv(1, true));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            sched.finish(2);
+            assert_eq!(a.join().unwrap(), Ok(None));
+            assert_eq!(b.join().unwrap(), Ok(None));
+        });
+    }
+
+    /// A delivery wakes only its destination: the other blocked processor
+    /// keeps waiting until its own message arrives, and delivery order
+    /// follows the `(time, src, seq)` queue order.
+    #[test]
+    fn delivery_targets_the_destination_slot() {
+        let sched: Scheduler<u32> = Scheduler::new(3);
+        sched.post(ev(2, 0, 100, 0, 7));
+        sched.post(ev(2, 1, 200, 1, 8));
+        std::thread::scope(|s| {
+            let p0 = s.spawn(|| {
+                let got = sched.block_recv(0, false);
+                sched.finish(0);
+                got
+            });
+            let p1 = s.spawn(|| {
+                let got = sched.block_recv(1, false);
+                sched.finish(1);
+                got
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            sched.finish(2);
+            let (at0, src0, msg0) = p0.join().unwrap().unwrap().unwrap();
+            let (at1, src1, msg1) = p1.join().unwrap().unwrap().unwrap();
+            assert_eq!((at0.cycles(), src0, msg0), (100, 2, 7));
+            assert_eq!((at1.cycles(), src1, msg1), (200, 2, 8));
+        });
+    }
+
+    /// Poison set while waiters sit on their per-proc condvars reaches
+    /// every one of them (the no-notify-storm replacement for the old
+    /// global broadcast).
+    #[test]
+    fn poison_wakes_every_waiter_once() {
+        let sched: Scheduler<u32> = Scheduler::new(4);
+        std::thread::scope(|s| {
+            let sched = &sched;
+            let waiters: Vec<_> = (0..3)
+                .map(|me| s.spawn(move || sched.block_recv(me, me == 2)))
+                .collect();
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            sched.abandon(3, "unit-test poison".to_string());
+            for w in waiters {
+                match w.join().unwrap() {
+                    Err(Poison::Panic { proc: 3, message }) => {
+                        assert!(message.contains("unit-test poison"));
+                    }
+                    other => panic!("expected panic poison, got {other:?}"),
+                }
+            }
+        });
     }
 }

@@ -55,6 +55,17 @@ echo "==> hostperf smoke"
 cargo run --release -q -p midway-bench --bin hostperf -- \
     --smoke --out "$smoke/hostperf.json"
 
+echo "==> real-transport loopback smoke"
+# sor under RT and VM over actual loopback TCP sockets (one OS thread per
+# processor), each run recorded and cross-validated against the simulator
+# digest oracle; then the same cells over UDP with 1% injected loss, so
+# the reliable channel masks a genuinely lossy socket end to end.
+cargo run --release -q -p midway-bench --bin realrun -- \
+    --smoke --trace "$smoke/traces" --out "$smoke/realrun.json"
+cargo run --release -q -p midway-bench --bin realrun -- \
+    --smoke --mode udp --loss 10000 \
+    --trace "$smoke/traces" --out "$smoke/realrun-udp.json"
+
 echo "==> replay determinism gate over committed traces"
 # Every cached trace in results/traces/ must still replay bit-for-bit —
 # the end-to-end oracle that host-perf changes cannot have altered any

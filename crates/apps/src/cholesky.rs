@@ -17,7 +17,8 @@
 use std::sync::Arc;
 
 use midway_core::{
-    LockId, Midway, MidwayConfig, MidwayRun, Proc, SharedArray, SystemBuilder, SystemSpec,
+    LockId, Midway, MidwayConfig, MidwayRun, NetMsg, Proc, RealConfig, RealError, SharedArray,
+    SystemBuilder, SystemSpec, Transport,
 };
 
 /// Cycles charged per multiply-subtract of a `cmod` update.
@@ -183,7 +184,22 @@ pub fn run(cfg: MidwayConfig, p: Params) -> MidwayRun<Outcome> {
         .expect("cholesky simulation failed")
 }
 
-fn worker(proc: &mut Proc, sym: &Symbolic, h: &Handles) -> Outcome {
+/// Runs the parallel factorization over real sockets (`Midway::run_real`).
+pub fn run_real(
+    cfg: MidwayConfig,
+    real: &RealConfig,
+    p: Params,
+) -> Result<MidwayRun<Outcome>, RealError> {
+    let sym = Arc::new(symbolic(p));
+    let (spec, h) = build(&sym, cfg.procs);
+    Midway::run_real(cfg, real, &spec, |proc| worker(proc, &sym, &h))
+}
+
+fn worker<T: Transport<Msg = NetMsg>>(
+    proc: &mut Proc<'_, T>,
+    sym: &Symbolic,
+    h: &Handles,
+) -> Outcome {
     let me = proc.id();
     let procs = proc.procs();
     let n = sym.n;
@@ -277,7 +293,7 @@ fn nz_index(sym: &Symbolic, col: usize, row: usize) -> usize {
             .unwrap_or_else(|_| panic!("({row},{col}) not in fill pattern"))
 }
 
-fn verify(proc: &mut Proc, sym: &Symbolic, h: &Handles) -> f64 {
+fn verify<T: Transport<Msg = NetMsg>>(proc: &mut Proc<'_, T>, sym: &Symbolic, h: &Handles) -> f64 {
     let n = sym.n;
     // Gather all columns (waiting until each is fully updated).
     let mut l: Vec<Vec<f64>> = Vec::with_capacity(n);

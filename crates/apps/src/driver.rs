@@ -1,7 +1,9 @@
 //! A uniform driver over the five applications, used by the benchmark
 //! harnesses to regenerate the paper's tables and figures.
 
-use midway_core::{Counters, MidwayConfig, MidwayRun, SpecBlueprint, TraceOp, VirtualTime};
+use midway_core::{
+    Counters, MidwayConfig, MidwayRun, RealConfig, RealError, SpecBlueprint, TraceOp, VirtualTime,
+};
 
 use crate::{cholesky, matmul, quicksort, sor, water};
 
@@ -41,6 +43,24 @@ impl AppKind {
             AppKind::Sor => "sor",
             AppKind::Cholesky => "cholesky",
         }
+    }
+
+    /// Whether the application's final memory is independent of lock
+    /// arbitration order, making per-processor store digests directly
+    /// comparable across transports.
+    ///
+    /// Only the strictly barrier-phased applications qualify: every
+    /// processor writes a fixed partition, so any execution reaching the
+    /// final barrier leaves the same bytes. That is `sor` and `matrix`.
+    /// The rest depend on arbitration order: `water`'s flush phase sums
+    /// per-molecule force contributions under a lock, and floating-point
+    /// addition does not associate, so the order processors win that lock
+    /// changes the final bits; `quicksort` places tasks dynamically, so
+    /// which processor sorts which span (and thus whose memory holds it)
+    /// follows grant order; `cholesky`'s `cmod` interleavings round
+    /// differently for the same reason as water.
+    pub fn lock_order_independent(self) -> bool {
+        matches!(self, AppKind::Sor | AppKind::Matmul)
     }
 }
 
@@ -87,6 +107,8 @@ pub struct AppOutcome {
     pub messages: u64,
     /// Whether the application verified its own output.
     pub verified: bool,
+    /// Per-processor FNV-1a digests of the final local memory content.
+    pub store_digests: Vec<u64>,
     /// Per-processor recorded operation streams (empty unless the run was
     /// configured with `MidwayConfig::record`).
     pub traces: Vec<Vec<TraceOp>>,
@@ -117,9 +139,64 @@ fn erase<R>(kind: AppKind, run: MidwayRun<R>, verified: bool) -> AppOutcome {
         messages: run.messages,
         counters: run.counters,
         verified,
+        store_digests: run.store_digests,
         traces: run.traces,
         blueprint: run.blueprint,
         check: run.check,
+    }
+}
+
+/// The scale-adjusted parameters for each app (shared by the simulated and
+/// real drivers so the two run identical workloads).
+fn water_params(scale: Scale) -> water::Params {
+    match scale {
+        Scale::Paper => water::Params::paper(),
+        Scale::Medium => water::Params {
+            molecules: 125,
+            steps: 3,
+        },
+        Scale::Small => water::Params::small(),
+    }
+}
+
+fn quicksort_params(scale: Scale) -> quicksort::Params {
+    match scale {
+        Scale::Paper => quicksort::Params::paper(),
+        Scale::Medium => quicksort::Params {
+            n: 60_000,
+            threshold: 500,
+            seed: 1234,
+        },
+        Scale::Small => quicksort::Params::small(),
+    }
+}
+
+fn matmul_params(scale: Scale) -> matmul::Params {
+    match scale {
+        Scale::Paper => matmul::Params::paper(),
+        Scale::Medium => matmul::Params { n: 192, seed: 42 },
+        Scale::Small => matmul::Params::small(),
+    }
+}
+
+fn sor_params(scale: Scale) -> sor::Params {
+    match scale {
+        Scale::Paper => sor::Params::paper(),
+        Scale::Medium => sor::Params {
+            rows: 400,
+            cols: 400,
+            iters: 10,
+            seed: 7,
+        },
+        Scale::Small => sor::Params::small(),
+    }
+}
+
+fn cholesky_params(scale: Scale) -> cholesky::Params {
+    match scale {
+        Scale::Paper => cholesky::Params::paper(),
+        Scale::Medium => cholesky::Params { side: 16 },
+        Scale::Small => cholesky::Params::small(),
     }
 }
 
@@ -132,68 +209,74 @@ fn erase<R>(kind: AppKind, run: MidwayRun<R>, verified: bool) -> AppOutcome {
 pub fn run_app(kind: AppKind, cfg: MidwayConfig, scale: Scale) -> AppOutcome {
     match kind {
         AppKind::Water => {
-            let p = match scale {
-                Scale::Paper => water::Params::paper(),
-                Scale::Medium => water::Params {
-                    molecules: 125,
-                    steps: 3,
-                },
-                Scale::Small => water::Params::small(),
-            };
-            let run = water::run(cfg, p);
+            let run = water::run(cfg, water_params(scale));
             let ok = water::verified(&run.results);
             erase(kind, run, ok)
         }
         AppKind::Quicksort => {
-            let p = match scale {
-                Scale::Paper => quicksort::Params::paper(),
-                Scale::Medium => quicksort::Params {
-                    n: 60_000,
-                    threshold: 500,
-                    seed: 1234,
-                },
-                Scale::Small => quicksort::Params::small(),
-            };
-            let run = quicksort::run(cfg, p);
+            let run = quicksort::run(cfg, quicksort_params(scale));
             let ok = run.results[0].sorted_ok == Some(true);
             erase(kind, run, ok)
         }
         AppKind::Matmul => {
-            let p = match scale {
-                Scale::Paper => matmul::Params::paper(),
-                Scale::Medium => matmul::Params { n: 192, seed: 42 },
-                Scale::Small => matmul::Params::small(),
-            };
-            let run = matmul::run(cfg, p);
+            let run = matmul::run(cfg, matmul_params(scale));
             let ok = matmul::verified(&run.results);
             erase(kind, run, ok)
         }
         AppKind::Sor => {
-            let p = match scale {
-                Scale::Paper => sor::Params::paper(),
-                Scale::Medium => sor::Params {
-                    rows: 400,
-                    cols: 400,
-                    iters: 10,
-                    seed: 7,
-                },
-                Scale::Small => sor::Params::small(),
-            };
-            let run = sor::run(cfg, p);
+            let run = sor::run(cfg, sor_params(scale));
             let ok = sor::verified(&run.results);
             erase(kind, run, ok)
         }
         AppKind::Cholesky => {
-            let p = match scale {
-                Scale::Paper => cholesky::Params::paper(),
-                Scale::Medium => cholesky::Params { side: 16 },
-                Scale::Small => cholesky::Params::small(),
-            };
-            let run = cholesky::run(cfg, p);
+            let run = cholesky::run(cfg, cholesky_params(scale));
             let ok = cholesky::verified(&run.results);
             erase(kind, run, ok)
         }
     }
+}
+
+/// Runs `kind` at `scale` under `cfg` over real sockets, with
+/// verification. The workload is identical to [`run_app`]'s at the same
+/// scale; only the transport differs.
+///
+/// # Errors
+///
+/// Returns [`RealError`] when the run fails (socket error, violation,
+/// panic, watchdog); verification failures are reported in the outcome.
+pub fn run_app_real(
+    kind: AppKind,
+    cfg: MidwayConfig,
+    real: &RealConfig,
+    scale: Scale,
+) -> Result<AppOutcome, RealError> {
+    Ok(match kind {
+        AppKind::Water => {
+            let run = water::run_real(cfg, real, water_params(scale))?;
+            let ok = water::verified(&run.results);
+            erase(kind, run, ok)
+        }
+        AppKind::Quicksort => {
+            let run = quicksort::run_real(cfg, real, quicksort_params(scale))?;
+            let ok = run.results[0].sorted_ok == Some(true);
+            erase(kind, run, ok)
+        }
+        AppKind::Matmul => {
+            let run = matmul::run_real(cfg, real, matmul_params(scale))?;
+            let ok = matmul::verified(&run.results);
+            erase(kind, run, ok)
+        }
+        AppKind::Sor => {
+            let run = sor::run_real(cfg, real, sor_params(scale))?;
+            let ok = sor::verified(&run.results);
+            erase(kind, run, ok)
+        }
+        AppKind::Cholesky => {
+            let run = cholesky::run_real(cfg, real, cholesky_params(scale))?;
+            let ok = cholesky::verified(&run.results);
+            erase(kind, run, ok)
+        }
+    })
 }
 
 #[cfg(test)]

@@ -29,4 +29,4 @@ pub mod water;
 
 mod driver;
 
-pub use driver::{run_app, AppKind, AppOutcome, Scale};
+pub use driver::{run_app, run_app_real, AppKind, AppOutcome, Scale};

@@ -17,7 +17,8 @@
 use std::sync::Arc;
 
 use midway_core::{
-    BarrierId, Midway, MidwayConfig, MidwayRun, Proc, SharedArray, SystemBuilder, SystemSpec,
+    BarrierId, Midway, MidwayConfig, MidwayRun, NetMsg, Proc, RealConfig, RealError, SharedArray,
+    SystemBuilder, SystemSpec, Transport,
 };
 use midway_sim::SplitMix64;
 
@@ -119,10 +120,25 @@ fn elem(seed: u64, which: u64, i: usize, j: usize, n: usize) -> f64 {
 /// Panics if the simulation fails (deadlock or processor panic).
 pub fn run(cfg: MidwayConfig, p: Params) -> MidwayRun<Outcome> {
     let (spec, h) = build(p, cfg.procs);
+    Midway::run(cfg, &spec, |proc: &mut Proc| session(proc, p, &h))
+        .expect("matmul simulation failed")
+}
+
+/// Runs matrix multiply over real sockets (`Midway::run_real`).
+pub fn run_real(
+    cfg: MidwayConfig,
+    real: &RealConfig,
+    p: Params,
+) -> Result<MidwayRun<Outcome>, RealError> {
+    let (spec, h) = build(p, cfg.procs);
+    Midway::run_real(cfg, real, &spec, |proc| session(proc, p, &h))
+}
+
+fn session<T: Transport<Msg = NetMsg>>(proc: &mut Proc<'_, T>, p: Params, h: &Handles) -> Outcome {
     let n = h.n;
-    Midway::run(cfg, &spec, |proc: &mut Proc| {
+    {
         let me = proc.id();
-        let rows = rows_of(n, cfg.procs, me);
+        let rows = rows_of(n, proc.procs(), me);
 
         // Parallel initialization of A and B row stripes.
         for i in rows.clone() {
@@ -185,8 +201,7 @@ pub fn run(cfg: MidwayConfig, p: Params) -> MidwayRun<Outcome> {
             checksum,
             max_sample_error: max_err,
         }
-    })
-    .expect("matmul simulation failed")
+    }
 }
 
 /// Whether an outcome passes verification.

@@ -18,7 +18,8 @@
 use std::sync::Arc;
 
 use midway_core::{
-    LockId, Midway, MidwayConfig, MidwayRun, Proc, SharedArray, SystemBuilder, SystemSpec,
+    LockId, Midway, MidwayConfig, MidwayRun, NetMsg, Proc, RealConfig, RealError, SharedArray,
+    SystemBuilder, SystemSpec, Transport,
 };
 use midway_sim::SplitMix64;
 
@@ -145,7 +146,17 @@ pub fn run(cfg: MidwayConfig, p: Params) -> MidwayRun<Outcome> {
     Midway::run(cfg, &spec, |proc: &mut Proc| worker(proc, p, &h)).expect("quicksort failed")
 }
 
-fn worker(proc: &mut Proc, p: Params, h: &Handles) -> Outcome {
+/// Runs parallel quicksort over real sockets (`Midway::run_real`).
+pub fn run_real(
+    cfg: MidwayConfig,
+    real: &RealConfig,
+    p: Params,
+) -> Result<MidwayRun<Outcome>, RealError> {
+    let (spec, h) = build(p, cfg.procs);
+    Midway::run_real(cfg, real, &spec, |proc| worker(proc, p, &h))
+}
+
+fn worker<T: Transport<Msg = NetMsg>>(proc: &mut Proc<'_, T>, p: Params, h: &Handles) -> Outcome {
     let me = proc.id();
     let n = p.n as i32;
 
@@ -230,7 +241,12 @@ fn worker(proc: &mut Proc, p: Params, h: &Handles) -> Outcome {
 /// Hoare-style partition through shared memory ("the inner loop does a
 /// compare and swap of adjacent elements" — we follow the classic scheme;
 /// every swap is two instrumented writes).
-fn partition(proc: &mut Proc, h: &Handles, lo: usize, hi: usize) -> usize {
+fn partition<T: Transport<Msg = NetMsg>>(
+    proc: &mut Proc<'_, T>,
+    h: &Handles,
+    lo: usize,
+    hi: usize,
+) -> usize {
     let a = proc.read(&h.data, lo);
     let b = proc.read(&h.data, (lo + hi) / 2);
     let c = proc.read(&h.data, hi - 1);
@@ -267,7 +283,14 @@ fn partition(proc: &mut Proc, h: &Handles, lo: usize, hi: usize) -> usize {
 
 /// Copies the leaf out, bubble-sorts it locally (charging the compare
 /// cost), writes it back, and records it for verification.
-fn local_sort_leaf(proc: &mut Proc, _p: Params, h: &Handles, _slot: usize, lo: usize, hi: usize) {
+fn local_sort_leaf<T: Transport<Msg = NetMsg>>(
+    proc: &mut Proc<'_, T>,
+    _p: Params,
+    h: &Handles,
+    _slot: usize,
+    lo: usize,
+    hi: usize,
+) {
     let mut buf = proc.read_vec(&h.data, lo..hi);
     let mut compares = 0u64;
     // Bubble sort with early exit, as the paper's local sort.
@@ -304,7 +327,13 @@ fn local_sort_leaf(proc: &mut Proc, _p: Params, h: &Handles, _slot: usize, lo: u
 
 /// Publishes a child task: rebind its slot lock to the range, then make
 /// the descriptor visible under the queue lock.
-fn push_task(proc: &mut Proc, h: &Handles, _parent: usize, lo: usize, hi: usize) {
+fn push_task<T: Transport<Msg = NetMsg>>(
+    proc: &mut Proc<'_, T>,
+    h: &Handles,
+    _parent: usize,
+    lo: usize,
+    hi: usize,
+) {
     // Atomically reserve a slot id (slots are never recycled, so every
     // task has its own lock, rebound exactly once).
     proc.acquire(h.qlock);
@@ -332,7 +361,7 @@ fn push_task(proc: &mut Proc, h: &Handles, _parent: usize, lo: usize, hi: usize)
 
 /// Processor 0's global check: leaf records must tile `0..n`, with
 /// leaf-local sortedness already guaranteed and boundaries monotone.
-fn verify(proc: &mut Proc, p: Params, h: &Handles) -> bool {
+fn verify<T: Transport<Msg = NetMsg>>(proc: &mut Proc<'_, T>, p: Params, h: &Handles) -> bool {
     proc.acquire(h.reclock);
     let count = proc.read(&h.qrec_count, 0) as usize;
     let mut recs: Vec<(i32, i32, i32, i32)> = (0..count)

@@ -17,7 +17,8 @@
 use std::sync::Arc;
 
 use midway_core::{
-    BarrierId, Midway, MidwayConfig, MidwayRun, Proc, SharedArray, SystemBuilder, SystemSpec,
+    BarrierId, Midway, MidwayConfig, MidwayRun, NetMsg, Proc, RealConfig, RealError, SharedArray,
+    SystemBuilder, SystemSpec, Transport,
 };
 use midway_sim::SplitMix64;
 
@@ -122,8 +123,23 @@ fn initial(seed: u64, i: usize, j: usize, rows: usize, cols: usize) -> f64 {
 /// processor count (each stripe needs at least two rows).
 pub fn run(cfg: MidwayConfig, p: Params) -> MidwayRun<Outcome> {
     let (spec, h) = build(p, cfg.procs);
+    Midway::run(cfg, &spec, |proc: &mut Proc| session(proc, p, &h)).expect("sor simulation failed")
+}
+
+/// Runs red-black SOR over real sockets (`Midway::run_real`); same
+/// decomposition and verification as [`run`].
+pub fn run_real(
+    cfg: MidwayConfig,
+    real: &RealConfig,
+    p: Params,
+) -> Result<MidwayRun<Outcome>, RealError> {
+    let (spec, h) = build(p, cfg.procs);
+    Midway::run_real(cfg, real, &spec, |proc| session(proc, p, &h))
+}
+
+fn session<T: Transport<Msg = NetMsg>>(proc: &mut Proc<'_, T>, p: Params, h: &Handles) -> Outcome {
     let cols = p.cols;
-    Midway::run(cfg, &spec, |proc: &mut Proc| {
+    {
         let me = proc.id();
         let procs = proc.procs();
         let stripe = stripe_of(p.rows, procs, me);
@@ -142,7 +158,7 @@ pub fn run(cfg: MidwayConfig, p: Params) -> MidwayRun<Outcome> {
             }
         }
         // Publish initial edge rows.
-        let publish = |proc: &mut Proc, grid: &Vec<f64>, li: usize, slot: usize| {
+        let publish = |proc: &mut Proc<'_, T>, grid: &Vec<f64>, li: usize, slot: usize| {
             for j in 0..cols {
                 proc.write(&h.edges, slot * cols + j, grid[li * cols + j]);
             }
@@ -239,8 +255,7 @@ pub fn run(cfg: MidwayConfig, p: Params) -> MidwayRun<Outcome> {
             final_residual,
             initial_residual,
         }
-    })
-    .expect("sor simulation failed")
+    }
 }
 
 /// Aggregate verification: SOR must make progress toward the steady state.

@@ -16,8 +16,8 @@
 use std::sync::Arc;
 
 use midway_core::{
-    BarrierId, LockId, Midway, MidwayConfig, MidwayRun, Proc, SharedArray, SystemBuilder,
-    SystemSpec,
+    BarrierId, LockId, Midway, MidwayConfig, MidwayRun, NetMsg, Proc, RealConfig, RealError,
+    SharedArray, SystemBuilder, SystemSpec, Transport,
 };
 
 /// Cycles charged per molecule-pair interaction (calibrated so the
@@ -161,9 +161,24 @@ fn pair_force(ci: [f64; 3], cj: [f64; 3]) -> [f64; 3] {
 /// Panics if the simulation fails.
 pub fn run(cfg: MidwayConfig, p: Params) -> MidwayRun<Outcome> {
     let (spec, h) = build(p, cfg.procs);
+    Midway::run(cfg, &spec, |proc: &mut Proc| session(proc, p, &h))
+        .expect("water simulation failed")
+}
+
+/// Runs water over real sockets (`Midway::run_real`).
+pub fn run_real(
+    cfg: MidwayConfig,
+    real: &RealConfig,
+    p: Params,
+) -> Result<MidwayRun<Outcome>, RealError> {
+    let (spec, h) = build(p, cfg.procs);
+    Midway::run_real(cfg, real, &spec, |proc| session(proc, p, &h))
+}
+
+fn session<T: Transport<Msg = NetMsg>>(proc: &mut Proc<'_, T>, p: Params, h: &Handles) -> Outcome {
     let n = p.molecules;
     let side = (n as f64).cbrt().round() as usize;
-    Midway::run(cfg, &spec, |proc: &mut Proc| {
+    {
         let me = proc.id();
         let procs = proc.procs();
         let mine = molecules_of(n, procs, me);
@@ -264,8 +279,7 @@ pub fn run(cfg: MidwayConfig, p: Params) -> MidwayRun<Outcome> {
             position_checksum: checksum,
             max_coord,
         }
-    })
-    .expect("water simulation failed")
+    }
 }
 
 /// Total position checksum.

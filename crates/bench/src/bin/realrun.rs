@@ -1,0 +1,180 @@
+//! Real-transport harness: runs applications over actual loopback
+//! sockets — one OS thread per processor, wall-clock time — and
+//! cross-validates each run against the deterministic simulator.
+//!
+//! For every app × backend cell the harness:
+//!
+//! 1. runs the application live on the real transport with recording on,
+//! 2. asserts the application verified its own output,
+//! 3. saves the recorded trace (`real-<app>-<scale>-<procs>p-<backend>-
+//!    <mode>.mwt` in the trace cache), and
+//! 4. replays the trace through the simulator's oracle
+//!    ([`verify_real_trace`]): the simulator re-executes the recorded
+//!    operation streams under virtual time and, for lock-order-independent
+//!    applications, must reach bit-identical final memory.
+//!
+//! Flags beyond the shared [`BenchArgs`] set: `--app NAME|all` (default
+//! all), `--backend NAME|all` (default all data-moving backends), `--mode
+//! tcp|udp` (default tcp), `--loss PPM` (UDP injected drop/dup rate,
+//! default 0), `--watchdog SECS` (default 120, `0` disables), and
+//! `--smoke` (the CI short-cut: sor × rt,vm on TCP, overriding `--app`/
+//! `--backend`).
+
+use std::time::{Duration, Instant};
+
+use midway_apps::{run_app_real, AppKind, Scale};
+use midway_bench::{BenchArgs, Json};
+use midway_core::{BackendKind, FaultPlan, MidwayConfig, RealConfig};
+use midway_replay::{verify_real_trace, Trace};
+
+fn parse_apps(args: &BenchArgs) -> Vec<AppKind> {
+    match args.value("--app") {
+        None | Some("all") => AppKind::all().to_vec(),
+        Some(name) => vec![AppKind::all()
+            .into_iter()
+            .find(|k| k.label() == name)
+            .unwrap_or_else(|| panic!("unknown app {name:?} (use a paper app name or all)"))],
+    }
+}
+
+fn parse_backends(args: &BenchArgs) -> Vec<BackendKind> {
+    match args.value("--backend") {
+        None | Some("all") => BackendKind::DATA.to_vec(),
+        Some(name) => {
+            vec![BackendKind::from_cli_name(name).unwrap_or_else(|e| panic!("{e}"))]
+        }
+    }
+}
+
+fn real_config(args: &BenchArgs) -> (RealConfig, &'static str) {
+    let loss_ppm: u32 = args
+        .value("--loss")
+        .map(|s| s.parse().expect("--loss takes a rate in parts-per-million"))
+        .unwrap_or(0);
+    let (mut real, mode) = match args.value("--mode") {
+        None | Some("tcp") => {
+            assert!(loss_ppm == 0, "--loss requires --mode udp");
+            (RealConfig::tcp(), "tcp")
+        }
+        Some("udp") => {
+            let plan = FaultPlan::seeded(0xD5).drop_ppm(loss_ppm).dup_ppm(loss_ppm);
+            (RealConfig::udp(plan), "udp")
+        }
+        Some(other) => panic!("unknown mode {other:?} (use tcp|udp)"),
+    };
+    if let Some(secs) = args.value("--watchdog") {
+        let secs: u64 = secs.parse().expect("--watchdog takes seconds");
+        real = real.watchdog((secs > 0).then(|| Duration::from_secs(secs)));
+    }
+    (real, mode)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (real, mode) = real_config(&args);
+    let smoke = args.flag("--smoke");
+    let (apps, backends, scale, procs) = if smoke {
+        (
+            vec![AppKind::Sor],
+            vec![BackendKind::Rt, BackendKind::Vm],
+            Scale::Small,
+            4,
+        )
+    } else {
+        (
+            parse_apps(&args),
+            parse_backends(&args),
+            args.scale,
+            args.procs,
+        )
+    };
+
+    println!("== real-transport runs ({mode}) ==");
+    println!("scale: {scale:?}, processors: {procs}");
+    println!();
+
+    let mut rows = Vec::new();
+    for kind in &apps {
+        for backend in &backends {
+            let (kind, backend) = (*kind, *backend);
+            let cfg = MidwayConfig::new(procs, backend).record(true);
+            let t0 = Instant::now();
+            let out = run_app_real(kind, cfg, &real, scale)
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", kind.label(), backend.label()));
+            let host_secs = t0.elapsed().as_secs_f64();
+            assert!(
+                out.verified,
+                "{} failed verification under {} on the real transport",
+                kind.label(),
+                backend.label()
+            );
+
+            let trace = Trace::from_outcome(&out, scale);
+            // Under `real/`, not the cache root: a real-transport trace
+            // records wall-clock-derived times, so it must never be picked
+            // up by the bit-for-bit `replay --check` gates that sweep the
+            // simulator's trace cache.
+            let path = args.trace_dir.join("real").join(format!(
+                "{}-{}-{}p-{}-{mode}.mwt",
+                kind.label(),
+                scale.label(),
+                procs,
+                backend.cli_name()
+            ));
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir).expect("creating trace directory");
+            }
+            trace
+                .save(&path)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+
+            let strict = kind.lock_order_independent();
+            let check = verify_real_trace(&trace, &out.store_digests, strict).unwrap_or_else(|d| {
+                panic!(
+                    "{} under {}: simulator oracle rejected the real run: {d}",
+                    kind.label(),
+                    backend.label()
+                )
+            });
+
+            println!(
+                "{:10} {:10} host {:6.2}s  {:8} ops  real msgs {:7}  sim msgs {:7}  digests {}",
+                kind.label(),
+                backend.label(),
+                host_secs,
+                check.total_ops,
+                check.real_messages,
+                check.sim_messages,
+                if check.digests_checked {
+                    "match"
+                } else {
+                    "replay-only"
+                },
+            );
+            rows.push(Json::obj([
+                ("app", Json::str(kind.label())),
+                ("backend", Json::str(backend.cli_name())),
+                ("mode", Json::str(mode)),
+                ("host_secs", Json::F64(host_secs)),
+                ("verified", Json::Bool(out.verified)),
+                ("total_ops", Json::U64(check.total_ops as u64)),
+                ("real_messages", Json::U64(check.real_messages)),
+                ("sim_messages", Json::U64(check.sim_messages)),
+                ("sim_finish_cycles", Json::U64(check.sim_finish_cycles)),
+                ("digests_checked", Json::Bool(check.digests_checked)),
+                ("trace", Json::str(path.display().to_string())),
+            ]));
+        }
+    }
+
+    // Not `meta_json`: `--smoke` overrides the scale and processor count,
+    // so report the values the runs actually used.
+    let mut pairs = vec![
+        ("harness".to_string(), Json::str("realrun")),
+        ("scale".to_string(), Json::str(scale.label())),
+        ("procs".to_string(), Json::U64(procs as u64)),
+        ("mode".to_string(), Json::str(mode)),
+    ];
+    pairs.push(("runs".to_string(), Json::Arr(rows)));
+    args.emit("realrun", &Json::Obj(pairs));
+}

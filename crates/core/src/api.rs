@@ -2,6 +2,7 @@
 
 use midway_check::CheckLog;
 use midway_mem::{Addr, AddrRange};
+use midway_net::Transport;
 use midway_proto::{BarrierId, LockId, Mode};
 use midway_sim::{ProcHandle, VirtualTime};
 
@@ -22,13 +23,19 @@ use crate::trace::{push_op, TraceOp};
 /// every shared store, synchronization operation and compute charge is
 /// appended to this processor's trace; reads are local and free and are
 /// never recorded.
-pub struct Proc<'a> {
+///
+/// `Proc` is generic over the [`Transport`] carrying its messages; the
+/// default is the virtual-time simulator's handle, so `Proc<'_>` in
+/// existing code means what it always did. A `Proc<'_, RealTransport<_>>`
+/// is the same runtime on OS threads and sockets
+/// ([`Midway::run_real`](crate::Midway::run_real)).
+pub struct Proc<'a, T: Transport<Msg = NetMsg> = ProcHandle<NetMsg>> {
     pub(crate) node: DsmNode,
-    pub(crate) h: &'a mut ProcHandle<NetMsg>,
+    pub(crate) h: &'a mut T,
     pub(crate) rec: Option<Vec<TraceOp>>,
 }
 
-impl Proc<'_> {
+impl<T: Transport<Msg = NetMsg>> Proc<'_, T> {
     /// Runs `f` against the checker log (when checking is on) with this
     /// processor's current virtual time. Strictly off-clock: nothing here
     /// touches the simulator's accounting.
@@ -94,25 +101,25 @@ impl Proc<'_> {
     }
 
     /// Reads element `i` of `a` from the local cache.
-    pub fn read<T: Scalar>(&mut self, a: &SharedArray<T>, i: usize) -> T {
+    pub fn read<S: Scalar>(&mut self, a: &SharedArray<S>, i: usize) -> S {
         let addr = a.addr(i);
-        self.check_with(|log, at| log.read(at, addr.raw(), T::SIZE as u32));
-        T::load(&mut self.node.store, addr)
+        self.check_with(|log, at| log.read(at, addr.raw(), S::SIZE as u32));
+        S::load(&mut self.node.store, addr)
     }
 
     /// Writes element `i` of `a`, running write detection first.
-    pub fn write<T: Scalar>(&mut self, a: &SharedArray<T>, i: usize, v: T) {
+    pub fn write<S: Scalar>(&mut self, a: &SharedArray<S>, i: usize, v: S) {
         let addr = a.addr(i);
-        self.check_with(|log, at| log.write(at, addr.raw(), T::SIZE as u32));
-        self.node.trap_write(self.h, addr, T::SIZE);
-        T::store_to(&mut self.node.store, addr, v);
-        self.record_write(addr, T::SIZE);
+        self.check_with(|log, at| log.write(at, addr.raw(), S::SIZE as u32));
+        self.node.trap_write(self.h, addr, S::SIZE);
+        S::store_to(&mut self.node.store, addr, v);
+        self.record_write(addr, S::SIZE);
     }
 
     /// Writes a run of elements starting at `start` (an "area" store: one
     /// template invocation covering all the lines, like a structure
     /// assignment or `bcopy` in the paper).
-    pub fn write_slice<T: Scalar>(&mut self, a: &SharedArray<T>, start: usize, values: &[T]) {
+    pub fn write_slice<S: Scalar>(&mut self, a: &SharedArray<S>, start: usize, values: &[S]) {
         if values.is_empty() {
             return;
         }
@@ -124,11 +131,11 @@ impl Proc<'_> {
             ));
         }
         let addr = a.addr(start);
-        let len = values.len() * T::SIZE;
+        let len = values.len() * S::SIZE;
         self.check_with(|log, at| log.write(at, addr.raw(), len as u32));
         self.node.trap_write(self.h, addr, len);
         for (k, v) in values.iter().enumerate() {
-            T::store_to(&mut self.node.store, a.addr(start + k), *v);
+            S::store_to(&mut self.node.store, a.addr(start + k), *v);
         }
         self.record_write(addr, len);
     }
@@ -144,11 +151,11 @@ impl Proc<'_> {
     }
 
     /// Reads elements `range` into a vector.
-    pub fn read_vec<T: Scalar>(
+    pub fn read_vec<S: Scalar>(
         &mut self,
-        a: &SharedArray<T>,
+        a: &SharedArray<S>,
         range: std::ops::Range<usize>,
-    ) -> Vec<T> {
+    ) -> Vec<S> {
         range.map(|i| self.read(a, i)).collect()
     }
 

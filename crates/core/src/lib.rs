@@ -47,6 +47,7 @@ pub mod report;
 mod run;
 mod setup;
 pub mod trace;
+mod wire;
 
 pub use api::Proc;
 pub use config::{BackendKind, MidwayConfig};
@@ -60,6 +61,7 @@ pub use trace::{AllocSpec, BarrierSpec, SpecBlueprint, TraceOp};
 // Re-export the identifiers applications need.
 pub use midway_check::{ApplyStats, CheckReport, CheckSpec, Finding, FindingKind, Staleness};
 pub use midway_mem::AddrRange;
+pub use midway_net::{RealConfig, RealError, RealMode, RealTransport, Transport};
 pub use midway_proto::{BarrierId, LinkStats, LockId, Mode, ReliableParams};
 pub use midway_sim::{FaultPlan, FaultStats, NetModel, SimError, SplitMix64, VirtualTime};
 pub use midway_stats::CostModel;

@@ -16,8 +16,9 @@ use std::sync::Arc;
 
 use midway_check::CheckLog;
 use midway_mem::{Addr, LocalStore};
+use midway_net::Transport;
 use midway_proto::{BarrierId, BarrierSite, Binding, HomeLock, LamportClock, LockId, Mode};
-use midway_sim::{Category, ProcHandle};
+use midway_sim::Category;
 
 use crate::config::MidwayConfig;
 use crate::counters::Counters;
@@ -73,7 +74,7 @@ pub(crate) struct DsmNode {
 }
 
 /// Builds a [`DetectCx`] from disjoint borrows of a node plus a charging
-/// closure over the simulator handle, and runs `$body` with `$det` bound
+/// closure over the transport handle, and runs `$body` with `$det` bound
 /// to the detector. A macro (not a method) so the borrow checker sees the
 /// field-level split: the detector never aliases the context it receives.
 macro_rules! with_detector {
@@ -155,7 +156,7 @@ impl DsmNode {
     /// dependence counters). Unlike pure compute, an idle wait lets other
     /// processors' messages through — including requests this processor
     /// must answer for anyone to make progress.
-    pub fn idle(&mut self, h: &mut ProcHandle<NetMsg>, cycles: u64) {
+    pub fn idle<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, cycles: u64) {
         debug_assert!(!self.tick_pending, "nested idle");
         self.tick_pending = true;
         h.post_self(NetMsg::Tick, cycles);
@@ -164,7 +165,7 @@ impl DsmNode {
 
     /// Traps a store of `len` bytes at `addr` *before* the data is written
     /// (paper §3.1 / §3.3; the mechanism is the detector's).
-    pub fn trap_write(&mut self, h: &mut ProcHandle<NetMsg>, addr: Addr, len: usize) {
+    pub fn trap_write<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, addr: Addr, len: usize) {
         with_detector!(self, h, |det, cx| det.trap_write(&mut cx, addr, len));
     }
 
@@ -174,7 +175,11 @@ impl DsmNode {
     }
 
     /// Serves protocol messages until `done` holds.
-    fn pump_until(&mut self, h: &mut ProcHandle<NetMsg>, done: impl Fn(&DsmNode) -> bool) {
+    fn pump_until<T: Transport<Msg = NetMsg>>(
+        &mut self,
+        h: &mut T,
+        done: impl Fn(&DsmNode) -> bool,
+    ) {
         while !done(self) {
             let (_t, src, msg) = h.recv();
             self.handle_net(h, src, msg);
@@ -182,16 +187,16 @@ impl DsmNode {
     }
 
     /// Serves protocol messages until the whole cluster quiesces.
-    pub fn finalize(&mut self, h: &mut ProcHandle<NetMsg>) {
+    pub fn finalize<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T) {
         while let Some((_t, src, msg)) = h.drain_recv() {
             self.handle_net(h, src, msg);
         }
     }
 
-    /// Dispatches one simulator-level message: the link layer peels
+    /// Dispatches one transport-level message: the link layer peels
     /// framing, timers, and acks; protocol messages that survive
     /// sequencing go to [`Self::handle_dsm`] in order.
-    fn handle_net(&mut self, h: &mut ProcHandle<NetMsg>, src: usize, msg: NetMsg) {
+    fn handle_net<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, src: usize, msg: NetMsg) {
         match msg {
             NetMsg::Tick => {
                 self.tick_pending = false;
@@ -212,7 +217,7 @@ impl DsmNode {
         }
     }
 
-    fn handle_dsm(&mut self, h: &mut ProcHandle<NetMsg>, src: usize, msg: DsmMsg) {
+    fn handle_dsm<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, src: usize, msg: DsmMsg) {
         match msg {
             DsmMsg::AcquireReq { lock, mode, seen } => {
                 let Some(home) = self.homes[lock.0 as usize].as_mut() else {

@@ -1,8 +1,9 @@
 //! The barrier path: collection on arrival, manager-side merging, and
 //! application on release.
 
+use midway_net::Transport;
 use midway_proto::{BarrierId, UpdateSet};
-use midway_sim::{Category, ProcHandle};
+use midway_sim::Category;
 
 use crate::detect::DetectCx;
 use crate::msg::{DsmMsg, NetMsg};
@@ -12,7 +13,7 @@ use super::{with_detector, DsmNode};
 impl DsmNode {
     /// Crosses `barrier`: ships local modifications of the bound data,
     /// waits for everyone, applies everyone else's.
-    pub fn barrier(&mut self, h: &mut ProcHandle<NetMsg>, barrier: BarrierId) {
+    pub fn barrier<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, barrier: BarrierId) {
         let idx = barrier.0 as usize;
         self.clock.tick();
         let set = self.collect_barrier(h, idx);
@@ -35,7 +36,7 @@ impl DsmNode {
         self.counters.barrier_waits += 1;
     }
 
-    fn collect_barrier(&mut self, h: &mut ProcHandle<NetMsg>, idx: usize) -> UpdateSet {
+    fn collect_barrier<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, idx: usize) -> UpdateSet {
         // With a partitioned binding each processor scans only the ranges
         // it may have written — the discipline the paper's applications
         // follow ("only data at the edges of each partition are shared").
@@ -54,9 +55,9 @@ impl DsmNode {
         ))
     }
 
-    pub(super) fn handle_barrier_arrive(
+    pub(super) fn handle_barrier_arrive<T: Transport<Msg = NetMsg>>(
         &mut self,
-        h: &mut ProcHandle<NetMsg>,
+        h: &mut T,
         barrier: BarrierId,
         from: usize,
         set: UpdateSet,
@@ -95,9 +96,9 @@ impl DsmNode {
         }
     }
 
-    pub(super) fn finish_barrier(
+    pub(super) fn finish_barrier<T: Transport<Msg = NetMsg>>(
         &mut self,
-        h: &mut ProcHandle<NetMsg>,
+        h: &mut T,
         barrier: BarrierId,
         set: UpdateSet,
         time: u64,

@@ -15,6 +15,13 @@
 //! * receipt is acknowledged on the next reverse data frame, or by an
 //!   explicit [`NetMsg::Ack`] when the protocol has nothing to say back.
 //!
+//! Per-peer channel state is allocated lazily, on the first frame
+//! exchanged with that peer in either direction. DSM traffic is sparse in
+//! the pair graph — a processor talks to lock homes, barrier managers,
+//! and previous holders, not to everyone — so eager allocation would put
+//! O(procs²) channel state in a large cluster where O(touched pairs)
+//! suffices.
+//!
 //! Timer discipline (this is what lets a run still quiesce): a peer's
 //! retransmit timer is armed iff frames to that peer are unacked; a timer
 //! that fires with an empty inflight queue disarms without re-posting, so
@@ -34,41 +41,62 @@
 //! would otherwise cut a fresh frame's timeout short and retransmit it
 //! spuriously — the deadline makes such fires re-arm and wait.
 
+use midway_net::Transport;
 use midway_proto::channel::{
     Accept, LinkStats, RecvChannel, ReliableParams, SendChannel, RELIABLE_HEADER_BYTES,
 };
-use midway_sim::{Category, ProcHandle};
+use midway_sim::Category;
 
 use crate::msg::{DsmMsg, NetMsg, ACK_FRAME_BYTES};
 
-pub(crate) struct LinkLayer {
-    /// Whether reliable framing is on (= the run's fault plan is enabled).
-    reliable: bool,
-    params: ReliableParams,
-    /// Per-peer channels, indexed by processor id (self slots unused).
-    tx: Vec<SendChannel<DsmMsg>>,
-    rx: Vec<RecvChannel<DsmMsg>>,
-    /// The highest cumulative ack advertised to each peer so far (in any
+/// Reliable-channel state for one peer, allocated on first contact.
+struct PeerLink {
+    tx: SendChannel<DsmMsg>,
+    rx: RecvChannel<DsmMsg>,
+    /// The highest cumulative ack advertised to the peer so far (in any
     /// frame); an explicit ack is owed when the receive channel is ahead
     /// of this.
-    last_acked: Vec<u64>,
+    last_acked: u64,
     /// Set when a duplicate arrives from the peer: the retransmission
     /// means our previous ack was lost, so re-ack even though the
     /// cumulative ack did not advance.
-    force_ack: Vec<bool>,
+    force_ack: bool,
     /// Earliest cycle at which another duplicate-triggered ack may go to
     /// the peer. A burst of queued duplicates (a peer that timed out
     /// while we computed) is answered with ONE ack per timeout window,
     /// not one per duplicate, keeping ack storms off the critical path.
-    force_ack_ok_at: Vec<u64>,
+    force_ack_ok_at: u64,
     /// Whether a `RetxCheck` self-post is outstanding for the peer.
-    timer_armed: Vec<bool>,
+    timer_armed: bool,
     /// Earliest cycle at which a retransmission to the peer is
     /// justified: one (backed-off) timeout after the oldest unacked
     /// frame was sent or last made cumulative-ack progress. Timer fires
     /// ahead of the deadline — e.g. a timer armed for an older,
     /// since-acked frame — re-arm without retransmitting.
-    retx_deadline: Vec<u64>,
+    retx_deadline: u64,
+}
+
+impl PeerLink {
+    fn new() -> PeerLink {
+        PeerLink {
+            tx: SendChannel::new(),
+            rx: RecvChannel::new(),
+            last_acked: 0,
+            force_ack: false,
+            force_ack_ok_at: 0,
+            timer_armed: false,
+            retx_deadline: 0,
+        }
+    }
+}
+
+pub(crate) struct LinkLayer {
+    /// Whether reliable framing is on (= the run's fault plan is enabled).
+    reliable: bool,
+    params: ReliableParams,
+    /// Per-peer channels, indexed by processor id; `None` until the first
+    /// frame to or from that peer. Stays all-`None` on a trusted network.
+    peers: Vec<Option<Box<PeerLink>>>,
     pub(crate) stats: LinkStats,
 }
 
@@ -77,47 +105,49 @@ impl LinkLayer {
         LinkLayer {
             reliable,
             params,
-            tx: (0..procs).map(|_| SendChannel::new()).collect(),
-            rx: (0..procs).map(|_| RecvChannel::new()).collect(),
-            last_acked: vec![0; procs],
-            force_ack: vec![false; procs],
-            force_ack_ok_at: vec![0; procs],
-            timer_armed: vec![false; procs],
-            retx_deadline: vec![0; procs],
+            peers: (0..procs).map(|_| None).collect(),
             stats: LinkStats::default(),
         }
     }
 
+    /// The channel state for `peer`, allocated on first use.
+    fn peer(&mut self, peer: usize) -> &mut PeerLink {
+        self.peers[peer].get_or_insert_with(|| Box::new(PeerLink::new()))
+    }
+
     /// Sends `msg` to `dst`, reliably when the network is untrusted.
-    pub fn send(&mut self, h: &mut ProcHandle<NetMsg>, dst: usize, msg: DsmMsg) {
+    pub fn send<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, dst: usize, msg: DsmMsg) {
         let bytes = msg.wire_size();
         if !self.reliable {
             h.send(dst, NetMsg::Raw(msg), bytes);
             return;
         }
-        if !self.tx[dst].has_inflight() {
+        let rto = self.params.rto_cycles;
+        let now = h.now().cycles();
+        let p = self.peer(dst);
+        if !p.tx.has_inflight() {
             // This frame is the new oldest: its wait starts now.
-            self.retx_deadline[dst] = h.now().cycles() + self.params.rto_cycles;
+            p.retx_deadline = now + rto;
         }
-        let seq = self.tx[dst].stage(msg.clone(), bytes);
-        let ack = self.rx[dst].cum_ack();
-        self.last_acked[dst] = ack;
-        self.force_ack[dst] = false;
+        let seq = p.tx.stage(msg.clone(), bytes);
+        let ack = p.rx.cum_ack();
+        p.last_acked = ack;
+        p.force_ack = false;
         self.stats.data_frames_sent += 1;
         h.send(
             dst,
             NetMsg::Data { seq, ack, msg },
             bytes + RELIABLE_HEADER_BYTES,
         );
-        self.arm_timer(h, dst, self.params.rto_cycles);
+        self.arm_timer(h, dst, rto);
     }
 
     /// Processes an incoming data frame from `src`: applies the
     /// piggybacked ack, sequences the payload, and appends every message
     /// now deliverable in order to `deliver`.
-    pub fn on_data(
+    pub fn on_data<T: Transport<Msg = NetMsg>>(
         &mut self,
-        h: &mut ProcHandle<NetMsg>,
+        h: &mut T,
         src: usize,
         seq: u64,
         ack: u64,
@@ -125,44 +155,50 @@ impl LinkLayer {
         deliver: &mut Vec<DsmMsg>,
     ) {
         self.apply_ack(h, src, ack);
-        match self.rx[src].on_data(seq, msg, deliver) {
+        let p = self.peer(src);
+        match p.rx.on_data(seq, msg, deliver) {
             Accept::InOrder => {}
             Accept::Buffered => self.stats.out_of_order_buffered += 1,
             Accept::Duplicate => {
-                self.stats.dup_frames_dropped += 1;
                 // The peer resent (or the network duplicated) a frame we
                 // already have; our ack may have been lost, so owe a fresh
                 // one even though the cumulative ack is unchanged.
-                self.force_ack[src] = true;
+                p.force_ack = true;
+                self.stats.dup_frames_dropped += 1;
             }
         }
     }
 
     /// Applies a cumulative ack from `src` to the send channel.
-    pub fn on_ack(&mut self, h: &mut ProcHandle<NetMsg>, src: usize, ack: u64) {
+    pub fn on_ack<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, src: usize, ack: u64) {
         self.apply_ack(h, src, ack);
     }
 
-    fn apply_ack(&mut self, h: &mut ProcHandle<NetMsg>, src: usize, ack: u64) {
-        if self.tx[src].on_ack(ack) && self.tx[src].has_inflight() {
+    fn apply_ack<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, src: usize, ack: u64) {
+        let now = h.now().cycles();
+        let rto = self.params.rto_cycles;
+        let p = self.peer(src);
+        if p.tx.on_ack(ack) && p.tx.has_inflight() {
             // Progress with frames still waiting: restart the timeout for
             // the new oldest frame (TCP-style timer restart; retries were
             // reset by the channel).
-            self.retx_deadline[src] = h.now().cycles() + self.params.rto_cycles;
+            p.retx_deadline = now + rto;
         }
     }
 
     /// Sends an explicit ack to `src` if one is owed — called after the
     /// protocol engine has handled a delivered frame, so any reverse data
     /// frame it produced has already carried the ack.
-    pub fn flush_ack(&mut self, h: &mut ProcHandle<NetMsg>, src: usize) {
-        let cum = self.rx[src].cum_ack();
+    pub fn flush_ack<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, src: usize) {
         let now = h.now().cycles();
-        let forced = self.force_ack[src] && now >= self.force_ack_ok_at[src];
-        self.force_ack[src] = false;
-        if cum > self.last_acked[src] || forced {
-            self.last_acked[src] = cum;
-            self.force_ack_ok_at[src] = now + self.params.rto_cycles;
+        let rto = self.params.rto_cycles;
+        let p = self.peer(src);
+        let cum = p.rx.cum_ack();
+        let forced = p.force_ack && now >= p.force_ack_ok_at;
+        p.force_ack = false;
+        if cum > p.last_acked || forced {
+            p.last_acked = cum;
+            p.force_ack_ok_at = now + rto;
             self.stats.acks_sent += 1;
             h.send(src, NetMsg::Ack { ack: cum }, ACK_FRAME_BYTES);
         }
@@ -171,36 +207,42 @@ impl LinkLayer {
     /// Handles a retransmit timer for the channel to `peer`: resends the
     /// oldest unacked frame (unless backoff says to sit this fire out),
     /// or disarms when everything has been acked.
-    pub fn on_timer(&mut self, h: &mut ProcHandle<NetMsg>, peer: usize) {
+    pub fn on_timer<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, peer: usize) {
         self.stats.timer_fires += 1;
-        self.timer_armed[peer] = false;
-        h.charge(Category::Protocol, self.params.timer_cost_cycles);
-        if !self.tx[peer].has_inflight() {
+        let timer_cost = self.params.timer_cost_cycles;
+        let now = h.now().cycles();
+        let params = self.params;
+        let p = self.peer(peer);
+        p.timer_armed = false;
+        h.charge(Category::Protocol, timer_cost);
+        if !p.tx.has_inflight() {
             // Inflight empty: leave the timer disarmed so the cluster can
             // quiesce. A new send re-arms it.
             return;
         }
-        if h.now().cycles() < self.retx_deadline[peer] {
+        if now < p.retx_deadline {
             // Too early — the timer was armed for an older exchange.
-        } else if let Some((seq, msg, bytes)) = self.tx[peer].oldest_unacked() {
+        } else if let Some((seq, msg, bytes)) = p.tx.oldest_unacked() {
             self.stats.retransmits += 1;
-            let next_rto = self.tx[peer].note_retransmit(&self.params);
-            self.retx_deadline[peer] = h.now().cycles() + next_rto;
-            let ack = self.rx[peer].cum_ack();
-            self.last_acked[peer] = ack;
-            self.force_ack[peer] = false;
+            let p = self.peer(peer);
+            let next_rto = p.tx.note_retransmit(&params);
+            p.retx_deadline = now + next_rto;
+            let ack = p.rx.cum_ack();
+            p.last_acked = ack;
+            p.force_ack = false;
             h.send(
                 peer,
                 NetMsg::Data { seq, ack, msg },
                 bytes + RELIABLE_HEADER_BYTES,
             );
         }
-        self.arm_timer(h, peer, self.params.rto_cycles);
+        self.arm_timer(h, peer, params.rto_cycles);
     }
 
-    fn arm_timer(&mut self, h: &mut ProcHandle<NetMsg>, peer: usize, delay: u64) {
-        if !self.timer_armed[peer] {
-            self.timer_armed[peer] = true;
+    fn arm_timer<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, peer: usize, delay: u64) {
+        let p = self.peer(peer);
+        if !p.timer_armed {
+            p.timer_armed = true;
             h.post_self(NetMsg::RetxCheck { peer }, delay);
         }
     }

@@ -1,7 +1,7 @@
 //! The lock path: acquire, release, and dynamic rebinding.
 
+use midway_net::Transport;
 use midway_proto::{LockId, Mode};
-use midway_sim::ProcHandle;
 
 use crate::msg::{DsmMsg, NetMsg};
 
@@ -9,7 +9,7 @@ use super::DsmNode;
 
 impl DsmNode {
     /// Acquires `lock` in `mode`, blocking until granted and consistent.
-    pub fn acquire(&mut self, h: &mut ProcHandle<NetMsg>, lock: LockId, mode: Mode) {
+    pub fn acquire<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, lock: LockId, mode: Mode) {
         let idx = lock.0 as usize;
         assert!(
             self.locks[idx].held.is_none(),
@@ -35,7 +35,7 @@ impl DsmNode {
 
     /// Releases `lock`. Local and asynchronous, as in Midway: data moves
     /// only when another processor asks for it.
-    pub fn release(&mut self, h: &mut ProcHandle<NetMsg>, lock: LockId, mode: Mode) {
+    pub fn release<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, lock: LockId, mode: Mode) {
         let idx = lock.0 as usize;
         assert_eq!(
             self.locks[idx].held,

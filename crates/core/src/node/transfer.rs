@@ -2,8 +2,9 @@
 //! collection at the owner of record, and applying grants at the
 //! requester (paper §3.2 / §3.4 — through the detector).
 
+use midway_net::Transport;
 use midway_proto::{LockId, Mode, SeenToken};
-use midway_sim::{Category, ProcHandle};
+use midway_sim::Category;
 
 use crate::detect::DetectCx;
 use crate::msg::{DsmMsg, GrantPayload, NetMsg};
@@ -12,9 +13,9 @@ use super::{with_detector, DsmNode};
 
 impl DsmNode {
     /// Executes the transfers a home decision produced.
-    pub(super) fn do_transfers(
+    pub(super) fn do_transfers<T: Transport<Msg = NetMsg>>(
         &mut self,
-        h: &mut ProcHandle<NetMsg>,
+        h: &mut T,
         lock: LockId,
         transfers: Vec<midway_proto::Transfer>,
     ) {
@@ -48,9 +49,9 @@ impl DsmNode {
 
     /// Runs write collection as the owner of record on behalf of a
     /// requester whose last-seen token is `seen`.
-    pub(super) fn collect_for(
+    pub(super) fn collect_for<T: Transport<Msg = NetMsg>>(
         &mut self,
-        h: &mut ProcHandle<NetMsg>,
+        h: &mut T,
         lock: LockId,
         seen: SeenToken,
     ) -> GrantPayload {
@@ -61,9 +62,9 @@ impl DsmNode {
             .collect_for(&mut cx, idx, &binding, seen))
     }
 
-    pub(super) fn send_grant(
+    pub(super) fn send_grant<T: Transport<Msg = NetMsg>>(
         &mut self,
-        h: &mut ProcHandle<NetMsg>,
+        h: &mut T,
         lock: LockId,
         mode: Mode,
         requester: usize,
@@ -87,9 +88,9 @@ impl DsmNode {
     }
 
     /// Applies a grant's payload and marks the lock held.
-    pub(super) fn apply_grant(
+    pub(super) fn apply_grant<T: Transport<Msg = NetMsg>>(
         &mut self,
-        h: &mut ProcHandle<NetMsg>,
+        h: &mut T,
         lock: LockId,
         mode: Mode,
         payload: GrantPayload,

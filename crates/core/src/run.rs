@@ -1,9 +1,11 @@
-//! Running a Midway program on the simulated cluster.
+//! Running a Midway program: on the simulated cluster, or on OS threads
+//! and real sockets.
 
 use std::sync::Arc;
 
+use midway_net::{RealCluster, RealConfig, RealError, RealMode, RealTransport, Transport};
 use midway_proto::LinkStats;
-use midway_sim::{Cluster, ClusterConfig, ProcReport, SimError, VirtualTime};
+use midway_sim::{Cluster, ClusterConfig, FaultPlan, ProcReport, SimError, VirtualTime};
 
 use crate::api::Proc;
 use crate::config::{BackendKind, MidwayConfig};
@@ -85,6 +87,102 @@ impl<R> MidwayRun<R> {
     }
 }
 
+/// What one processor's session produces, transport-independent.
+type SessionOut<R> = (
+    R,
+    Counters,
+    LinkStats,
+    u64,
+    Option<Vec<TraceOp>>,
+    Option<midway_check::CheckLog>,
+);
+
+/// One processor's whole life, on any transport: build the node, run the
+/// application closure, serve the cluster until quiescence, report.
+fn proc_session<R, T, F>(
+    cfg: MidwayConfig,
+    spec: &Arc<SystemSpec>,
+    h: &mut T,
+    f: &F,
+) -> SessionOut<R>
+where
+    T: Transport<Msg = NetMsg>,
+    F: Fn(&mut Proc<'_, T>) -> R,
+{
+    let node = DsmNode::new(h.id(), cfg, Arc::clone(spec));
+    let mut proc = Proc {
+        node,
+        h,
+        rec: cfg.record.then(Vec::new),
+    };
+    let r = f(&mut proc);
+    proc.node.finalize(proc.h);
+    let digest = proc.node.store.digest();
+    let check_log = proc.node.check.take();
+    (
+        r,
+        proc.node.counters,
+        proc.node.link.stats,
+        digest,
+        proc.rec.take(),
+        check_log,
+    )
+}
+
+/// Assembles per-processor session outputs plus cluster-level accounting
+/// into a [`MidwayRun`].
+fn assemble<R>(
+    cfg: MidwayConfig,
+    spec: &Arc<SystemSpec>,
+    blueprint: Option<SpecBlueprint>,
+    raw: Vec<SessionOut<R>>,
+    reports: Vec<ProcReport>,
+    finish_time: VirtualTime,
+    messages: u64,
+) -> MidwayRun<R> {
+    let mut results = Vec::with_capacity(raw.len());
+    let mut counters = Vec::with_capacity(raw.len());
+    let mut link = Vec::with_capacity(raw.len());
+    let mut store_digests = Vec::with_capacity(raw.len());
+    let mut traces = Vec::new();
+    let mut check_logs = Vec::new();
+    for (r, c, l, d, t, k) in raw {
+        results.push(r);
+        counters.push(c);
+        link.push(l);
+        store_digests.push(d);
+        if let Some(t) = t {
+            traces.push(t);
+        }
+        if let Some(k) = k {
+            check_logs.push(k.into_events());
+        }
+    }
+    let check = cfg
+        .check
+        .then(|| midway_check::analyze(&spec.check_spec(), &check_logs));
+    MidwayRun {
+        results,
+        counters,
+        reports,
+        finish_time,
+        messages,
+        link,
+        store_digests,
+        cfg,
+        traces,
+        blueprint,
+        check,
+    }
+}
+
+fn assert_backend_supported(cfg: &MidwayConfig) {
+    assert!(
+        cfg.backend != BackendKind::None || cfg.procs == 1,
+        "the standalone backend only supports one processor"
+    );
+}
+
 /// Entry point for running Midway programs.
 pub struct Midway;
 
@@ -113,10 +211,7 @@ impl Midway {
         R: Send,
         F: Fn(&mut Proc<'_>) -> R + Send + Sync,
     {
-        assert!(
-            cfg.backend != BackendKind::None || cfg.procs == 1,
-            "the standalone backend only supports one processor"
-        );
+        assert_backend_supported(&cfg);
         let blueprint = cfg.record.then(|| SpecBlueprint::capture(spec));
         let run_spec = Arc::clone(spec);
         let cluster = ClusterConfig {
@@ -125,58 +220,67 @@ impl Midway {
             faults: cfg.faults,
         };
         let out = Cluster::run(cluster, move |h: &mut midway_sim::ProcHandle<NetMsg>| {
-            let node = DsmNode::new(h.id(), cfg, Arc::clone(&run_spec));
-            let mut proc = Proc {
-                node,
-                h,
-                rec: cfg.record.then(Vec::new),
-            };
-            let r = f(&mut proc);
-            proc.node.finalize(proc.h);
-            let digest = proc.node.store.digest();
-            let check_log = proc.node.check.take();
-            (
-                r,
-                proc.node.counters,
-                proc.node.link.stats,
-                digest,
-                proc.rec.take(),
-                check_log,
-            )
+            proc_session(cfg, &run_spec, h, &f)
         })?;
-        let mut results = Vec::with_capacity(out.results.len());
-        let mut counters = Vec::with_capacity(out.results.len());
-        let mut link = Vec::with_capacity(out.results.len());
-        let mut store_digests = Vec::with_capacity(out.results.len());
-        let mut traces = Vec::new();
-        let mut check_logs = Vec::new();
-        for (r, c, l, d, t, k) in out.results {
-            results.push(r);
-            counters.push(c);
-            link.push(l);
-            store_digests.push(d);
-            if let Some(t) = t {
-                traces.push(t);
-            }
-            if let Some(k) = k {
-                check_logs.push(k.into_events());
-            }
-        }
-        let check = cfg
-            .check
-            .then(|| midway_check::analyze(&spec.check_spec(), &check_logs));
-        Ok(MidwayRun {
-            results,
-            counters,
-            reports: out.reports,
-            finish_time: out.finish_time,
-            messages: out.messages_delivered,
-            link,
-            store_digests,
+        Ok(assemble(
             cfg,
-            traces,
+            spec,
             blueprint,
-            check,
-        })
+            out.results,
+            out.reports,
+            out.finish_time,
+            out.messages_delivered,
+        ))
+    }
+
+    /// Runs `f` once per processor over real sockets: one OS thread per
+    /// processor, loopback TCP or UDP per `real.mode`, wall-clock time
+    /// standing in for the virtual clock.
+    ///
+    /// The protocol engine is the same code [`Midway::run`] executes; only
+    /// the [`Transport`] differs. Two configuration knobs are interpreted
+    /// differently here:
+    ///
+    /// * `cfg.net` (the simulated network's latency model) is ignored —
+    ///   the kernel's loopback is the network now;
+    /// * `cfg.faults` only decides whether the reliable link layer frames
+    ///   messages; nothing is *injected* from it. On UDP, framing is
+    ///   forced on (with [`FaultPlan::seeded`]\(0\), the zero-rate plan)
+    ///   because datagrams can be genuinely lost even on loopback;
+    ///   injected loss, if any, comes from [`RealMode::Udp`]'s plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RealError`] on protocol/application violations, socket
+    /// failures, processor panics, or a watchdog abort of a hung run.
+    pub fn run_real<R, F>(
+        cfg: MidwayConfig,
+        real: &RealConfig,
+        spec: &Arc<SystemSpec>,
+        f: F,
+    ) -> Result<MidwayRun<R>, RealError>
+    where
+        R: Send,
+        F: Fn(&mut Proc<'_, RealTransport<NetMsg>>) -> R + Send + Sync,
+    {
+        assert_backend_supported(&cfg);
+        let mut cfg = cfg;
+        if matches!(real.mode, RealMode::Udp { .. }) && !cfg.faults.enabled {
+            cfg.faults = FaultPlan::seeded(0);
+        }
+        let blueprint = cfg.record.then(|| SpecBlueprint::capture(spec));
+        let run_spec = Arc::clone(spec);
+        let out = RealCluster::run(real, cfg.procs, move |h: &mut RealTransport<NetMsg>| {
+            proc_session(cfg, &run_spec, h, &f)
+        })?;
+        Ok(assemble(
+            cfg,
+            spec,
+            blueprint,
+            out.results,
+            out.reports,
+            out.finish_time,
+            out.messages_delivered,
+        ))
     }
 }

@@ -1,0 +1,321 @@
+//! Shared in-process state for a real-transport run: per-processor
+//! inboxes, the distributed-quiescence detector, and the poison channel
+//! that aborts every thread on the first failure.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Why a real-transport run was aborted. Converted to
+/// [`RealError`](crate::RealError) at the end of the run.
+#[derive(Clone, Debug)]
+pub(crate) enum RealPoison {
+    /// A protocol layer reported an invariant violation.
+    Protocol { proc: usize, message: String },
+    /// The runtime reported an application API misuse.
+    App { proc: usize, message: String },
+    /// A processor closure panicked.
+    Panic { proc: usize, message: String },
+    /// A socket operation failed or a frame failed to decode.
+    Io { proc: usize, message: String },
+    /// The wall-clock watchdog fired.
+    Watchdog { secs: u64, dumps: Vec<String> },
+}
+
+/// Panic payload used to unwind a processor thread out of a poisoned run.
+/// The poison itself is already stored in the hub when this is thrown.
+pub(crate) struct RealAbort;
+
+/// What a processor is doing right now, for watchdog dumps and for
+/// deciding whether a reader-side EOF is expected.
+pub(crate) mod status {
+    pub const APP: u8 = 0;
+    pub const RECV: u8 = 1;
+    pub const DRAIN: u8 = 2;
+    pub const FINISHED: u8 = 3;
+
+    pub fn label(s: u8) -> &'static str {
+        match s {
+            APP => "app",
+            RECV => "recv",
+            DRAIN => "drain",
+            FINISHED => "finished",
+            _ => "?",
+        }
+    }
+}
+
+/// Minimum global inactivity before a UDP-mode hub may quiesce. Loopback
+/// datagram delivery is microseconds; anything still "in flight" after
+/// this long is genuinely lost and the reliable layer's timers (which
+/// block quiescence on their own) are responsible for it.
+const UDP_SETTLE_NANOS: u64 = 5_000_000;
+
+/// A self-posted timer waiting in a processor's local heap. Ordered by
+/// `(deliver_at_nanos, seq)` with the comparison inverted so that
+/// `BinaryHeap`'s max element is the *earliest* deadline.
+pub(crate) struct TimerEntry<M> {
+    pub at_nanos: u64,
+    pub seq: u64,
+    pub msg: M,
+}
+
+impl<M> PartialEq for TimerEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at_nanos, self.seq) == (other.at_nanos, other.seq)
+    }
+}
+
+impl<M> Eq for TimerEntry<M> {}
+
+impl<M> PartialOrd for TimerEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for TimerEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Inverted: the heap's max is the earliest (at, seq).
+        (other.at_nanos, other.seq).cmp(&(self.at_nanos, self.seq))
+    }
+}
+
+/// Per-run shared state. One `Arc<Hub<M>>` is shared by every processor
+/// thread, socket reader thread, and the watchdog.
+///
+/// # Quiescence
+///
+/// `drain_recv` must return `None` exactly when nothing can ever arrive
+/// again. With no global scheduler that is a distributed-termination
+/// problem; the hub solves it with counters and a double-read validation:
+///
+/// a processor that is draining with an empty inbox and no local timers
+/// marks itself `idle_drain` and then checks, in order: every processor
+/// is `idle_drain`, no processor is mid-handler (`busy`), no timers are
+/// pending anywhere, every inbox is empty, and (on TCP, where the wire is
+/// lossless) every frame sent has been received. The `activity` counter
+/// is read before and after; any state change in between bumps it, so a
+/// stable double-read means all the individual reads observed one
+/// consistent quiet state. Once such a state exists it is permanent —
+/// every message originates from a non-idle processor or an in-flight
+/// frame, and there are none — so committing `quiesced` is safe.
+///
+/// On UDP the frame counters are skipped (datagrams may be genuinely
+/// lost, so `sent == received` may never hold); two substitutes apply.
+/// First, a settle window: quiescence cannot commit until the whole hub
+/// has been inactive for [`UDP_SETTLE`], which dwarfs loopback delivery
+/// latency and closes the window where a datagram is out of the sender
+/// but not yet in an inbox. Second, for the DSM the reliable channel
+/// above carries the real guarantee: its retransmit timer is armed
+/// exactly while data is unacknowledged, so "no timers pending anywhere"
+/// already implies every data frame was delivered. Stray duplicate or
+/// ack datagrams may land after quiescence and are simply never read —
+/// they carry no protocol obligations.
+pub(crate) struct Hub<M> {
+    pub procs: usize,
+    pub start: Instant,
+    /// Whether `frames_sent == frames_received` participates in the
+    /// quiescence check (true for TCP, false for UDP).
+    pub track_frames: bool,
+    inboxes: Vec<Mutex<VecDeque<(usize, M)>>>,
+    conds: Vec<Condvar>,
+    inbox_len: Vec<AtomicUsize>,
+    pub idle_drain: Vec<AtomicBool>,
+    pub busy: Vec<AtomicBool>,
+    pub pending_self: Vec<AtomicU64>,
+    pub status: Vec<AtomicU8>,
+    pub last_event_ms: Vec<AtomicU64>,
+    pub frames_sent: AtomicU64,
+    pub frames_received: AtomicU64,
+    /// Messages handed to processor closures (network + self timers).
+    pub delivered: AtomicU64,
+    activity: AtomicU64,
+    /// Hub-relative nanos of the last activity bump (UDP settle window).
+    last_activity: AtomicU64,
+    quiesced: AtomicBool,
+    poisoned: AtomicBool,
+    pub done: AtomicBool,
+    poison: Mutex<Option<RealPoison>>,
+}
+
+impl<M: Send> Hub<M> {
+    pub fn new(procs: usize, track_frames: bool) -> Hub<M> {
+        Hub {
+            procs,
+            start: Instant::now(),
+            track_frames,
+            inboxes: (0..procs).map(|_| Mutex::new(VecDeque::new())).collect(),
+            conds: (0..procs).map(|_| Condvar::new()).collect(),
+            inbox_len: (0..procs).map(|_| AtomicUsize::new(0)).collect(),
+            idle_drain: (0..procs).map(|_| AtomicBool::new(false)).collect(),
+            busy: (0..procs).map(|_| AtomicBool::new(false)).collect(),
+            pending_self: (0..procs).map(|_| AtomicU64::new(0)).collect(),
+            status: (0..procs).map(|_| AtomicU8::new(status::APP)).collect(),
+            last_event_ms: (0..procs).map(|_| AtomicU64::new(0)).collect(),
+            frames_sent: AtomicU64::new(0),
+            frames_received: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            activity: AtomicU64::new(0),
+            last_activity: AtomicU64::new(0),
+            quiesced: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            poison: Mutex::new(None),
+        }
+    }
+
+    /// Nanoseconds since the run started (shared epoch for all clocks).
+    pub fn nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Bumps the activity counter, invalidating any in-progress
+    /// quiescence double-read and restarting the settle window.
+    pub fn bump(&self) {
+        self.last_activity.store(self.nanos(), SeqCst);
+        self.activity.fetch_add(1, SeqCst);
+    }
+
+    pub fn touch(&self, proc: usize) {
+        self.last_event_ms[proc].store(self.nanos() / 1_000_000, SeqCst);
+    }
+
+    pub fn quiesced(&self) -> bool {
+        self.quiesced.load(SeqCst)
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(SeqCst)
+    }
+
+    /// Delivers a network message into `dst`'s inbox and wakes it.
+    /// `frames_received` is incremented only *after* the push so the
+    /// TCP quiescence check can never observe "all frames received" while
+    /// a decoded frame is still outside every inbox.
+    pub fn push(&self, dst: usize, src: usize, msg: M) {
+        {
+            let mut q = lock(&self.inboxes[dst]);
+            q.push_back((src, msg));
+            self.inbox_len[dst].fetch_add(1, SeqCst);
+            self.bump();
+            self.conds[dst].notify_all();
+        }
+        self.frames_received.fetch_add(1, SeqCst);
+    }
+
+    /// Pops the next inbox message for `me`, if any.
+    pub fn try_pop(&self, me: usize) -> Option<(usize, M)> {
+        let mut q = lock(&self.inboxes[me]);
+        let item = q.pop_front()?;
+        self.inbox_len[me].fetch_sub(1, SeqCst);
+        self.bump();
+        Some(item)
+    }
+
+    /// Blocks `me` for up to `timeout` waiting for an inbox push, a
+    /// poison, or quiescence — whichever notifies first.
+    pub fn wait(&self, me: usize, timeout: std::time::Duration) {
+        let q = lock(&self.inboxes[me]);
+        if !q.is_empty() || self.is_poisoned() || self.quiesced() {
+            return;
+        }
+        let _ = self.conds[me]
+            .wait_timeout(q, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+
+    pub fn notify_all(&self) {
+        for c in &self.conds {
+            c.notify_all();
+        }
+    }
+
+    /// Attempts to commit global quiescence; returns true on success.
+    /// Called by draining processors; see the type-level docs for the
+    /// correctness argument.
+    pub fn try_quiesce(&self) -> bool {
+        if self.quiesced() {
+            return true;
+        }
+        let before = self.activity.load(SeqCst);
+        let all_idle = (0..self.procs).all(|p| self.idle_drain[p].load(SeqCst));
+        if !all_idle {
+            return false;
+        }
+        if self.busy.iter().any(|b| b.load(SeqCst)) {
+            return false;
+        }
+        if self
+            .pending_self
+            .iter()
+            .map(|p| p.load(SeqCst))
+            .sum::<u64>()
+            != 0
+        {
+            return false;
+        }
+        if self.inbox_len.iter().map(|l| l.load(SeqCst)).sum::<usize>() != 0 {
+            return false;
+        }
+        if self.track_frames {
+            if self.frames_sent.load(SeqCst) != self.frames_received.load(SeqCst) {
+                return false;
+            }
+        } else if self.nanos().saturating_sub(self.last_activity.load(SeqCst)) < UDP_SETTLE_NANOS {
+            return false;
+        }
+        if self.activity.load(SeqCst) != before {
+            return false;
+        }
+        if self.is_poisoned() {
+            return false;
+        }
+        self.quiesced.store(true, SeqCst);
+        self.notify_all();
+        true
+    }
+
+    /// Records the first poison and wakes everyone. Does not unwind the
+    /// caller — socket reader threads and the watchdog use this and then
+    /// exit normally.
+    pub fn fail_soft(&self, poison: RealPoison) {
+        {
+            let mut slot = lock(&self.poison);
+            if slot.is_none() {
+                *slot = Some(poison);
+            }
+        }
+        self.poisoned.store(true, SeqCst);
+        self.bump();
+        self.notify_all();
+    }
+
+    pub fn take_poison(&self) -> Option<RealPoison> {
+        lock(&self.poison).take()
+    }
+
+    /// One human-readable line per processor, for watchdog abort reports.
+    pub fn dump(&self) -> Vec<String> {
+        (0..self.procs)
+            .map(|p| {
+                format!(
+                    "proc {p}: status={} idle_drain={} busy={} inbox={} pending_self={} last_event=+{}ms",
+                    status::label(self.status[p].load(SeqCst)),
+                    self.idle_drain[p].load(SeqCst),
+                    self.busy[p].load(SeqCst),
+                    self.inbox_len[p].load(SeqCst),
+                    self.pending_self[p].load(SeqCst),
+                    self.last_event_ms[p].load(SeqCst),
+                )
+            })
+            .collect()
+    }
+}
+
+/// The hub's mutexes are only held for queue operations that cannot
+/// panic, so a poisoned guard is always recoverable.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}

@@ -1,0 +1,217 @@
+//! Hand-rolled wire encoding for real-transport frames.
+//!
+//! The workspace is deliberately free of external crates, so messages that
+//! cross a real socket are serialized by a small fixed-width codec instead
+//! of serde/bincode: little-endian scalars, `u32`-length-prefixed byte
+//! strings, one tag byte per enum variant. The [`Wire`] trait is what a
+//! message type must implement to ride [`RealTransport`](crate::RealTransport);
+//! the DSM's `NetMsg` codec lives next to the message definitions in
+//! `midway-core`.
+
+use std::fmt;
+
+/// A malformed or truncated wire frame.
+///
+/// Decoding failures are protocol-fatal on a real transport (there is no
+/// way to resynchronize a corrupt stream), so errors carry a description
+/// good enough to debug from a poison report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl WireError {
+    /// Convenience constructor.
+    pub fn new(msg: impl Into<String>) -> WireError {
+        WireError(msg.into())
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A cursor over a received frame's payload bytes.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps a complete frame payload.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError(format!(
+                "truncated frame: wanted {n} bytes for {what}, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    pub fn bytes(&mut self, what: &str) -> Result<Vec<u8>, WireError> {
+        let len = self.u32(what)? as usize;
+        Ok(self.take(len, what)?.to_vec())
+    }
+
+    /// Asserts the frame is fully consumed.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError(format!(
+                "{} trailing bytes after a complete message",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32`-length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(
+        out,
+        u32::try_from(b.len()).expect("byte string fits in u32"),
+    );
+    out.extend_from_slice(b);
+}
+
+/// A message that can cross a real socket.
+///
+/// `encode` appends the full message to `out`; `decode` consumes exactly
+/// one message from the reader. Round-tripping must be lossless:
+/// `decode(encode(m)) == m`.
+pub trait Wire: Sized {
+    /// Serializes `self` onto the end of `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Deserializes one message, consuming its bytes from `r`.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+/// Encodes a message into a fresh buffer (helper for one-shot callers).
+pub fn encode_to_vec<M: Wire>(msg: &M) -> Vec<u8> {
+    let mut out = Vec::new();
+    msg.encode(&mut out);
+    out
+}
+
+/// Decodes a complete frame payload, requiring full consumption.
+pub fn decode_exact<M: Wire>(buf: &[u8]) -> Result<M, WireError> {
+    let mut r = WireReader::new(buf);
+    let msg = M::decode(&mut r)?;
+    r.finish()?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Probe {
+        a: u64,
+        b: u32,
+        tag: u8,
+        blob: Vec<u8>,
+    }
+
+    impl Wire for Probe {
+        fn encode(&self, out: &mut Vec<u8>) {
+            put_u64(out, self.a);
+            put_u32(out, self.b);
+            out.push(self.tag);
+            put_bytes(out, &self.blob);
+        }
+
+        fn decode(r: &mut WireReader<'_>) -> Result<Probe, WireError> {
+            Ok(Probe {
+                a: r.u64("a")?,
+                b: r.u32("b")?,
+                tag: r.u8("tag")?,
+                blob: r.bytes("blob")?,
+            })
+        }
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let p = Probe {
+            a: u64::MAX - 3,
+            b: 0xDEAD_BEEF,
+            tag: 7,
+            blob: vec![1, 2, 3, 0, 255],
+        };
+        assert_eq!(decode_exact::<Probe>(&encode_to_vec(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let p = Probe {
+            a: 1,
+            b: 2,
+            tag: 3,
+            blob: vec![9; 10],
+        };
+        let full = encode_to_vec(&p);
+        for cut in 0..full.len() {
+            assert!(
+                decode_exact::<Probe>(&full[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let p = Probe {
+            a: 1,
+            b: 2,
+            tag: 3,
+            blob: vec![],
+        };
+        let mut full = encode_to_vec(&p);
+        full.push(0);
+        assert!(decode_exact::<Probe>(&full).is_err());
+    }
+}

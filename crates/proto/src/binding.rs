@@ -24,6 +24,16 @@ impl Binding {
         }
     }
 
+    /// Reconstructs a binding from its ranges and version, for wire
+    /// decoders. Normalization is idempotent, so a decoded binding is
+    /// identical to the encoded one.
+    pub fn from_parts(ranges: Vec<AddrRange>, version: u64) -> Binding {
+        Binding {
+            ranges: normalize(ranges),
+            version,
+        }
+    }
+
     /// Replaces the bound ranges, bumping the binding version.
     ///
     /// Under VM-DSM a rebinding forces the next transfer to ship all bound

@@ -398,6 +398,111 @@ pub fn verify_replay(trace: &Trace) -> Result<MidwayRun<()>, String> {
     Ok(run)
 }
 
+/// What [`verify_real_trace`] measured while cross-validating a
+/// real-transport run against the simulator.
+#[derive(Clone, Debug)]
+pub struct RealCheck {
+    /// Finish "cycles" of the real run (wall-clock derived; comparable to
+    /// nothing but itself).
+    pub real_finish_cycles: u64,
+    /// Finish time of the simulator replay, in virtual cycles.
+    pub sim_finish_cycles: u64,
+    /// Messages delivered in the real run.
+    pub real_messages: u64,
+    /// Messages delivered in the simulator replay.
+    pub sim_messages: u64,
+    /// Operations replayed across all processors.
+    pub total_ops: usize,
+    /// Whether final-memory digests were compared (strict mode).
+    pub digests_checked: bool,
+}
+
+/// The real-transport oracle: cross-validates a run recorded over real
+/// sockets against the deterministic simulator.
+///
+/// The trace's operation streams were captured on the real transport
+/// (threads, TCP/UDP, wall-clock time). This oracle replays those streams
+/// through the full simulated protocol machinery and asserts:
+///
+/// 1. **Determinism**: two simulator replays agree exactly — finish time,
+///    message count, every per-processor counter and memory digest. (A
+///    divergence here indicates simulator nondeterminism, not a transport
+///    bug.)
+/// 2. **Convergence** (`strict` only): the simulator reaches the same
+///    per-processor final memory content (FNV-1a digests) as the real run
+///    — `real_digests`, from the real run's
+///    [`MidwayRun::store_digests`](midway_core::MidwayRun::store_digests).
+///    Two completely different executions of the protocol — virtual time
+///    vs. wall clock, in-order simulated delivery vs. kernel sockets —
+///    must agree on every byte of shared memory.
+///
+/// Unlike [`verify_replay`], recorded finish times, message counts and
+/// counters are *not* compared against the replay: the trace header holds
+/// the real run's wall-clock-derived values, and message timing (hence
+/// grant batching, update coalescing, and the counters derived from them)
+/// legitimately differs between a kernel scheduler and the virtual-time
+/// model. Final memory is the invariant; use `strict` only for
+/// lock-order-independent workloads
+/// ([`AppKind::lock_order_independent`](midway_apps::AppKind)), where no
+/// arbitration order can change which write lands last on a shared word.
+///
+/// # Errors
+///
+/// Returns a description of the first violated property.
+pub fn verify_real_trace(
+    trace: &Trace,
+    real_digests: &[u64],
+    strict: bool,
+) -> Result<RealCheck, String> {
+    let cfg = trace.recorded_cfg();
+    let a = replay(trace, cfg).map_err(|e| format!("simulator replay failed: {e}"))?;
+    let b = replay(trace, cfg).map_err(|e| format!("simulator replay (rerun) failed: {e}"))?;
+    if a.finish_time != b.finish_time || a.messages != b.messages {
+        return Err(format!(
+            "simulator replay is nondeterministic: finish {} vs {} cycles, {} vs {} messages",
+            a.finish_time.cycles(),
+            b.finish_time.cycles(),
+            a.messages,
+            b.messages
+        ));
+    }
+    if a.counters != b.counters {
+        return Err("simulator replay is nondeterministic: counters differ between reruns".into());
+    }
+    if a.store_digests != b.store_digests {
+        return Err(
+            "simulator replay is nondeterministic: memory digests differ between reruns".into(),
+        );
+    }
+
+    if real_digests.len() != a.store_digests.len() {
+        return Err(format!(
+            "digest count mismatch: real run reported {} processors, replay has {}",
+            real_digests.len(),
+            a.store_digests.len()
+        ));
+    }
+    if strict {
+        for (p, (real_d, sim_d)) in real_digests.iter().zip(&a.store_digests).enumerate() {
+            if real_d != sim_d {
+                return Err(format!(
+                    "real run diverged from the simulator: processor {p} final memory \
+                     digest {real_d:#018x} (real) != {sim_d:#018x} (simulated)"
+                ));
+            }
+        }
+    }
+
+    Ok(RealCheck {
+        real_finish_cycles: trace.meta.finish_cycles,
+        sim_finish_cycles: a.finish_time.cycles(),
+        real_messages: trace.meta.messages,
+        sim_messages: a.messages,
+        total_ops: trace.total_ops(),
+        digests_checked: strict,
+    })
+}
+
 /// Replays `trace` under its recorded configuration with the dynamic
 /// entry-consistency checker attached, and asserts the checked replay is
 /// still bit-for-bit identical to the recording — the checker's off-clock

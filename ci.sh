@@ -66,6 +66,14 @@ cargo run --release -q -p midway-bench --bin realrun -- \
     --smoke --mode udp --loss 10000 \
     --trace "$smoke/traces" --out "$smoke/realrun-udp.json"
 
+echo "==> scale sweep smoke (64 processors, tree barriers, sharded homes)"
+# One 64-processor sor cell per backend (RT + VM) under the scale-out
+# configuration — combining-tree barriers (arity 4) plus sharded sync
+# homes — with peak-RSS sampling. Verifies the machinery end to end at a
+# processor count far beyond the unit tests.
+cargo run --release -q -p midway-bench --bin scale_sweep -- \
+    --smoke --out "$smoke/scale.json"
+
 echo "==> replay determinism gate over committed traces"
 # Every cached trace in results/traces/ must still replay bit-for-bit —
 # the end-to-end oracle that host-perf changes cannot have altered any

@@ -73,6 +73,12 @@ pub enum Scale {
     Medium,
     /// Tiny inputs for tests.
     Small,
+    /// Scaled-up inputs for the 64–512 processor sweep. Sized so every
+    /// application still partitions at those counts: sor's stripes need at
+    /// least two rows each (8192 rows ⇒ up to 4096 processors), matmul
+    /// needs a row per processor, quicksort needs enough tasks to keep
+    /// hundreds of workers busy.
+    Datacenter,
 }
 
 impl Scale {
@@ -82,6 +88,7 @@ impl Scale {
             Scale::Paper => "paper",
             Scale::Medium => "medium",
             Scale::Small => "small",
+            Scale::Datacenter => "dc",
         }
     }
 }
@@ -156,6 +163,10 @@ fn water_params(scale: Scale) -> water::Params {
             steps: 3,
         },
         Scale::Small => water::Params::small(),
+        Scale::Datacenter => water::Params {
+            molecules: 1728,
+            steps: 2,
+        },
     }
 }
 
@@ -168,6 +179,11 @@ fn quicksort_params(scale: Scale) -> quicksort::Params {
             seed: 1234,
         },
         Scale::Small => quicksort::Params::small(),
+        Scale::Datacenter => quicksort::Params {
+            n: 10_000_000,
+            threshold: 1000,
+            seed: 1234,
+        },
     }
 }
 
@@ -176,6 +192,7 @@ fn matmul_params(scale: Scale) -> matmul::Params {
         Scale::Paper => matmul::Params::paper(),
         Scale::Medium => matmul::Params { n: 192, seed: 42 },
         Scale::Small => matmul::Params::small(),
+        Scale::Datacenter => matmul::Params { n: 1024, seed: 42 },
     }
 }
 
@@ -189,6 +206,12 @@ fn sor_params(scale: Scale) -> sor::Params {
             seed: 7,
         },
         Scale::Small => sor::Params::small(),
+        Scale::Datacenter => sor::Params {
+            rows: 8192,
+            cols: 8192,
+            iters: 2,
+            seed: 7,
+        },
     }
 }
 
@@ -197,6 +220,7 @@ fn cholesky_params(scale: Scale) -> cholesky::Params {
         Scale::Paper => cholesky::Params::paper(),
         Scale::Medium => cholesky::Params { side: 16 },
         Scale::Small => cholesky::Params::small(),
+        Scale::Datacenter => cholesky::Params { side: 40 },
     }
 }
 

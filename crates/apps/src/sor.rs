@@ -82,8 +82,15 @@ struct Handles {
 }
 
 fn stripe_of(rows: usize, procs: usize, p: usize) -> std::ops::Range<usize> {
-    let per = rows.div_ceil(procs);
-    (per * p).min(rows)..(per * (p + 1)).min(rows)
+    // Balanced partition: the first `rows % procs` stripes get one extra
+    // row. Unlike ceiling division this never strands trailing processors
+    // with empty stripes (e.g. 400 rows over 64 processors), and it is
+    // identical whenever `procs` divides `rows` — which covers every
+    // recorded-trace configuration.
+    let base = rows / procs;
+    let extra = rows % procs;
+    let start = base * p + p.min(extra);
+    start..start + base + usize::from(p < extra)
 }
 
 fn build(p: Params, procs: usize) -> (Arc<SystemSpec>, Handles) {

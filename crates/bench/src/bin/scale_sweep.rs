@@ -1,0 +1,281 @@
+//! The 64–512 processor scale sweep: how the simulator and the scale-out
+//! protocol configuration (combining-tree barriers, sharded sync homes)
+//! behave as the cluster grows far beyond the paper's eight processors.
+//!
+//! Every cell is a **live** run (no trace cache: a ten-million-key
+//! quicksort trace would dwarf the run itself) of one application on one
+//! backend at one processor count, under
+//! `MidwayConfig::scale_out(arity, seed)` — tree barriers plus sharded
+//! homes. Reported per cell: host wall-clock seconds, delivered simulator
+//! events and events per second, virtual finish time, and the peak
+//! resident set sampled while the cell ran.
+//!
+//! Flags beyond the standard [`BenchArgs`] set:
+//!
+//! * `--smoke` — the CI gate: 64 processors, sor only, RT + VM, medium
+//!   inputs. Checks the machinery end to end in seconds, not minutes.
+//! * `--procs-list 64,128,256` — processor counts (default 64,128,256).
+//! * `--apps sor,quicksort` — applications (default sor,quicksort).
+//! * `--backends rt,vm` — backends (default rt,vm).
+//! * `--arity N` — combining-tree arity (default 4).
+//! * `--budget-gb N` — per-cell memory budget (default 100). A breached
+//!   budget does not kill the cell; it marks it, and larger processor
+//!   counts of the same app/backend family are skipped.
+//!
+//! Inputs default to the datacenter (`dc`) scale — sized so sor's
+//! stripes still hold at least two rows each at 512+ processors —
+//! unless `--scale` is given explicitly. Cells run strictly one at a
+//! time (`--jobs` is ignored): peak-RSS attribution and the events/sec
+//! figure are both meaningless under co-scheduling.
+//!
+//! The default output path is `BENCH_scale.json` at the repository root
+//! (override with `--out`).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use midway_apps::{run_app, AppKind, Scale};
+use midway_bench::{run_cells_measured, BenchArgs, CellStats, Json};
+use midway_core::{BackendKind, MidwayConfig};
+use midway_stats::{fmt_f64, TextTable};
+
+struct Cell {
+    app: AppKind,
+    backend: BackendKind,
+    procs: usize,
+}
+
+struct Outcome {
+    cell: Cell,
+    host_secs: f64,
+    events: u64,
+    finish_cycles: u64,
+    sim_secs: f64,
+    verified: bool,
+    stats: CellStats,
+    skipped: bool,
+}
+
+fn parse_list<T>(raw: Option<&str>, default: &[T], parse: impl Fn(&str) -> T) -> Vec<T>
+where
+    T: Clone,
+{
+    match raw {
+        None => default.to_vec(),
+        Some(s) => s.split(',').map(|p| parse(p.trim())).collect(),
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let smoke = args.flag("--smoke");
+
+    // Sweep inputs are datacenter-sized unless the user chose otherwise;
+    // the smoke gate uses medium (64 processors still fit: sor's stripes
+    // need two rows each, and medium sor has 400).
+    let scale = if args.value("--scale").is_some() {
+        args.scale
+    } else if smoke {
+        Scale::Medium
+    } else {
+        Scale::Datacenter
+    };
+
+    let proc_counts: Vec<usize> = if smoke {
+        vec![64]
+    } else {
+        parse_list(args.value("--procs-list"), &[64, 128, 256], |s| {
+            s.parse().expect("--procs-list takes numbers")
+        })
+    };
+    let apps: Vec<AppKind> = if smoke {
+        vec![AppKind::Sor]
+    } else {
+        parse_list(
+            args.value("--apps"),
+            &[AppKind::Sor, AppKind::Quicksort],
+            |s| {
+                AppKind::all()
+                    .into_iter()
+                    .find(|k| k.label() == s)
+                    .unwrap_or_else(|| panic!("unknown app {s:?}"))
+            },
+        )
+    };
+    let backends: Vec<BackendKind> = parse_list(
+        args.value("--backends"),
+        &[BackendKind::Rt, BackendKind::Vm],
+        |s| {
+            BackendKind::ALL
+                .into_iter()
+                .find(|b| b.cli_name() == s)
+                .unwrap_or_else(|| panic!("unknown backend {s:?}"))
+        },
+    );
+    let arity: u32 = args
+        .value("--arity")
+        .map(|s| s.parse().expect("--arity takes a number"))
+        .unwrap_or(4);
+    let budget_gb: u64 = args
+        .value("--budget-gb")
+        .map(|s| s.parse().expect("--budget-gb takes a number"))
+        .unwrap_or(100);
+    const SHARD_SEED: u64 = 0x5ca1ab1e;
+
+    println!("== scale sweep ==");
+    println!("scale: {scale:?}, procs: {proc_counts:?}, arity: {arity}, budget: {budget_gb} GB");
+    println!();
+
+    // Outer order: app × backend × ascending procs, so the budget gate
+    // can cut a family short after its first breach.
+    let mut cells = Vec::new();
+    for &app in &apps {
+        for &backend in &backends {
+            for &procs in &proc_counts {
+                cells.push(Cell {
+                    app,
+                    backend,
+                    procs,
+                });
+            }
+        }
+    }
+
+    // One cell at a time, regardless of --jobs: events/sec and peak RSS
+    // are per-process measurements.
+    let mut breached: Vec<(AppKind, BackendKind)> = Vec::new();
+    let mut outcomes: Vec<Outcome> = Vec::new();
+    for cell in cells {
+        if breached.contains(&(cell.app, cell.backend)) {
+            eprintln!(
+                "skipping {}/{} at {}p: smaller run already breached the budget",
+                cell.app.label(),
+                cell.backend.cli_name(),
+                cell.procs
+            );
+            outcomes.push(Outcome {
+                cell,
+                host_secs: 0.0,
+                events: 0,
+                finish_cycles: 0,
+                sim_secs: 0.0,
+                verified: false,
+                stats: CellStats {
+                    peak_rss_bytes: 0,
+                    budget_exceeded: false,
+                },
+                skipped: true,
+            });
+            continue;
+        }
+        eprintln!(
+            "running {} under {} at {}p ...",
+            cell.app.label(),
+            cell.backend.cli_name(),
+            cell.procs
+        );
+        let budget = Some(budget_gb << 30);
+        let mut measured = run_cells_measured(1, vec![cell], budget, |cell| {
+            let cfg = MidwayConfig::new(cell.procs, cell.backend).scale_out(arity, SHARD_SEED);
+            let start = Instant::now();
+            let out = run_app(cell.app, cfg, scale);
+            let host_secs = start.elapsed().as_secs_f64();
+            (cell, host_secs, out)
+        });
+        let ((cell, host_secs, out), stats) = measured.pop().expect("one cell in, one out");
+        assert!(
+            out.verified,
+            "{:?} failed verification at {}p under {:?}",
+            cell.app, cell.procs, cell.backend
+        );
+        eprintln!(
+            "  {:.1}s host, {} events ({}/s), peak rss {} MB",
+            host_secs,
+            out.messages,
+            fmt_f64((out.messages as f64 / host_secs.max(1e-9)).round(), 0),
+            stats.peak_rss_bytes >> 20,
+        );
+        if stats.budget_exceeded {
+            breached.push((cell.app, cell.backend));
+        }
+        outcomes.push(Outcome {
+            host_secs,
+            events: out.messages,
+            finish_cycles: out.finish_time.cycles(),
+            sim_secs: out.exec_secs,
+            verified: out.verified,
+            stats,
+            skipped: false,
+            cell,
+        });
+    }
+
+    let mut t = TextTable::new(&[
+        "app", "backend", "procs", "host s", "events", "events/s", "sim s", "peak MB",
+    ])
+    .left_cols(2);
+    for o in &outcomes {
+        if o.skipped {
+            t.row(&[
+                o.cell.app.label().to_string(),
+                o.cell.backend.cli_name().to_string(),
+                o.cell.procs.to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "skipped".to_string(),
+            ]);
+            continue;
+        }
+        t.row(&[
+            o.cell.app.label().to_string(),
+            o.cell.backend.cli_name().to_string(),
+            o.cell.procs.to_string(),
+            fmt_f64(o.host_secs, 1),
+            o.events.to_string(),
+            fmt_f64((o.events as f64 / o.host_secs.max(1e-9)).round(), 0),
+            fmt_f64(o.sim_secs, 2),
+            (o.stats.peak_rss_bytes >> 20).to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    let cells_json: Vec<Json> = outcomes
+        .iter()
+        .map(|o| {
+            Json::obj([
+                ("app", Json::str(o.cell.app.label())),
+                ("backend", Json::str(o.cell.backend.cli_name())),
+                ("procs", Json::U64(o.cell.procs as u64)),
+                ("skipped", Json::Bool(o.skipped)),
+                ("verified", Json::Bool(o.verified)),
+                ("host_secs", Json::F64(o.host_secs)),
+                ("events", Json::U64(o.events)),
+                (
+                    "events_per_sec",
+                    Json::F64(o.events as f64 / o.host_secs.max(1e-9)),
+                ),
+                ("finish_cycles", Json::U64(o.finish_cycles)),
+                ("sim_secs", Json::F64(o.sim_secs)),
+                ("peak_rss_mb", Json::U64(o.stats.peak_rss_bytes >> 20)),
+                ("budget_exceeded", Json::Bool(o.stats.budget_exceeded)),
+            ])
+        })
+        .collect();
+    let json = Json::obj([
+        ("harness", Json::str("scale_sweep")),
+        ("scale", Json::str(scale.label())),
+        ("arity", Json::U64(u64::from(arity))),
+        ("shard_seed", Json::U64(SHARD_SEED)),
+        ("budget_gb", Json::U64(budget_gb)),
+        ("cells", Json::Arr(cells_json)),
+    ]);
+    let path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_scale.json"));
+    midway_bench::write_json(&path, &json)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("\nresults written to {}", path.display());
+}

@@ -1,8 +1,25 @@
 //! System configuration.
 
-use midway_proto::ReliableParams;
+use midway_proto::{HomeMap, ReliableParams};
 use midway_sim::{FaultPlan, NetModel};
 use midway_stats::CostModel;
+
+/// How barrier episodes are coordinated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BarrierShape {
+    /// The paper's flat scheme: every processor sends its updates to the
+    /// manager, which merges P arrivals and broadcasts P releases. The
+    /// historical default; fine at 8 processors, a hot-spot at 256.
+    #[default]
+    Flat,
+    /// A combining tree rooted at the manager: arrivals merge up, the
+    /// release fans down, and no node handles more than `arity` barrier
+    /// messages per episode.
+    Tree {
+        /// Per-node fan-in bound (must be at least 2).
+        arity: u32,
+    },
+}
 
 /// Which write-detection strategy the system runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -139,6 +156,13 @@ pub struct MidwayConfig {
     /// [`MidwayRun::check`](crate::MidwayRun::check) report is the only
     /// observable difference.
     pub check: bool,
+    /// Where each lock's home and each barrier's manager live. The
+    /// default modulo map reproduces the historical `id % procs` layout
+    /// bit-for-bit; the sharded map scatters dense id ranges for scale.
+    pub home_map: HomeMap,
+    /// Barrier coordination shape. The default flat shape reproduces the
+    /// historical single-manager protocol bit-for-bit.
+    pub barrier: BarrierShape,
 }
 
 impl MidwayConfig {
@@ -154,6 +178,8 @@ impl MidwayConfig {
             faults: FaultPlan::none(),
             reliable: ReliableParams::atm_cluster(),
             check: false,
+            home_map: HomeMap::Modulo,
+            barrier: BarrierShape::Flat,
         }
     }
 
@@ -197,6 +223,30 @@ impl MidwayConfig {
     pub fn check(mut self, on: bool) -> MidwayConfig {
         self.check = on;
         self
+    }
+
+    /// Replaces the sync-home assignment.
+    pub fn home_map(mut self, map: HomeMap) -> MidwayConfig {
+        self.home_map = map;
+        self
+    }
+
+    /// Replaces the barrier coordination shape.
+    pub fn barrier_shape(mut self, shape: BarrierShape) -> MidwayConfig {
+        self.barrier = shape;
+        self
+    }
+
+    /// Switches barriers to a combining tree of the given arity.
+    pub fn tree_barriers(self, arity: u32) -> MidwayConfig {
+        self.barrier_shape(BarrierShape::Tree { arity })
+    }
+
+    /// The scale-out preset: sharded sync homes plus combining-tree
+    /// barriers — the configuration the `scale_sweep` harness runs.
+    pub fn scale_out(self, arity: u32, shard_seed: u64) -> MidwayConfig {
+        self.home_map(HomeMap::Sharded { seed: shard_seed })
+            .tree_barriers(arity)
     }
 }
 

@@ -50,7 +50,7 @@ pub mod trace;
 mod wire;
 
 pub use api::Proc;
-pub use config::{BackendKind, MidwayConfig};
+pub use config::{BackendKind, BarrierShape, MidwayConfig};
 pub use counters::{AvgCounters, Counters};
 pub use detect::{DetectCx, WriteDetector};
 pub use msg::{DsmMsg, GrantPayload, NetMsg};
@@ -62,6 +62,6 @@ pub use trace::{AllocSpec, BarrierSpec, SpecBlueprint, TraceOp};
 pub use midway_check::{ApplyStats, CheckReport, CheckSpec, Finding, FindingKind, Staleness};
 pub use midway_mem::AddrRange;
 pub use midway_net::{RealConfig, RealError, RealMode, RealTransport, Transport};
-pub use midway_proto::{BarrierId, LinkStats, LockId, Mode, ReliableParams};
+pub use midway_proto::{BarrierId, HomeMap, LinkStats, LockId, Mode, ReliableParams};
 pub use midway_sim::{FaultPlan, FaultStats, NetModel, SimError, SplitMix64, VirtualTime};
 pub use midway_stats::CostModel;

@@ -1,5 +1,7 @@
 //! The DSM protocol messages and their wire sizes.
 
+use std::sync::Arc;
+
 use midway_proto::{
     BarrierId, Binding, LockId, Mode, Update, UpdateSet, MSG_HEADER_BYTES, RELIABLE_HEADER_BYTES,
 };
@@ -124,12 +126,20 @@ pub enum DsmMsg {
         time: u64,
     },
     /// Manager → processor: everyone arrived; here is everyone else's data.
+    ///
+    /// Flat barriers ship each receiver its personalized set (merged minus
+    /// its own contribution); tree barriers ship every node the same fully
+    /// merged set, which each node filters locally. The `Arc` makes the
+    /// tree's fan-down — the same payload forwarded to up-to-`arity`
+    /// children per node — a pointer copy in the simulator's shared
+    /// address space; wire-size accounting still charges the full set per
+    /// hop.
     BarrierRelease {
         /// The barrier.
         barrier: BarrierId,
-        /// The merged updates, minus the receiver's own contribution.
-        set: UpdateSet,
-        /// The manager's logical time.
+        /// The update payload (see above for flat vs tree contents).
+        set: Arc<UpdateSet>,
+        /// The sender's logical time.
         time: u64,
     },
 }
@@ -152,9 +162,8 @@ impl DsmMsg {
     pub fn data_bytes(&self) -> u64 {
         match self {
             DsmMsg::Grant { payload, .. } => payload.data_bytes(),
-            DsmMsg::BarrierArrive { set, .. } | DsmMsg::BarrierRelease { set, .. } => {
-                set.data_bytes()
-            }
+            DsmMsg::BarrierArrive { set, .. } => set.data_bytes(),
+            DsmMsg::BarrierRelease { set, .. } => set.data_bytes(),
             _ => 0,
         }
     }

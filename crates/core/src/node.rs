@@ -17,10 +17,12 @@ use std::sync::Arc;
 use midway_check::CheckLog;
 use midway_mem::{Addr, LocalStore};
 use midway_net::Transport;
-use midway_proto::{BarrierId, BarrierSite, Binding, HomeLock, LamportClock, LockId, Mode};
+use midway_proto::{
+    BarrierId, BarrierSite, Binding, HomeLock, LamportClock, LockId, Mode, TreeSite, TreeTopology,
+};
 use midway_sim::Category;
 
-use crate::config::MidwayConfig;
+use crate::config::{BarrierShape, MidwayConfig};
 use crate::counters::Counters;
 use crate::detect::{DetectCx, WriteDetector};
 use crate::msg::{DsmMsg, NetMsg};
@@ -37,6 +39,15 @@ mod transfer;
 struct LockNode {
     binding: Binding,
     held: Option<Mode>,
+}
+
+/// This processor's share of one barrier's coordination, shaped by
+/// [`BarrierShape`].
+enum BarrierCoord {
+    /// Flat: only the manager holds a site; everyone else holds nothing.
+    Flat(Option<BarrierSite>),
+    /// Combining tree: every processor is a tree node.
+    Tree(TreeSite),
 }
 
 /// Per-barrier protocol state.
@@ -62,7 +73,7 @@ pub(crate) struct DsmNode {
     locks: Vec<LockNode>,
     homes: Vec<Option<HomeLock>>,
     barriers: Vec<BarrierNode>,
-    sites: Vec<Option<BarrierSite>>,
+    sites: Vec<BarrierCoord>,
     tick_pending: bool,
     pub(crate) link: LinkLayer,
     pub(crate) counters: Counters,
@@ -110,7 +121,7 @@ impl DsmNode {
             .collect();
         let homes = (0..spec.locks.len())
             .map(|i| {
-                let home = LockId(i as u32).home(procs);
+                let home = cfg.home_map.lock_home(LockId(i as u32), procs);
                 (home == me).then(|| HomeLock::new(home))
             })
             .collect();
@@ -127,8 +138,16 @@ impl DsmNode {
             .collect();
         let sites = (0..spec.barriers.len())
             .map(|i| {
-                let mgr = BarrierId(i as u32).manager(procs);
-                (mgr == me).then(|| BarrierSite::new(procs))
+                let mgr = cfg.home_map.barrier_manager(BarrierId(i as u32), procs);
+                match cfg.barrier {
+                    BarrierShape::Flat => {
+                        BarrierCoord::Flat((mgr == me).then(|| BarrierSite::new(procs)))
+                    }
+                    BarrierShape::Tree { arity } => BarrierCoord::Tree(TreeSite::new(
+                        me,
+                        TreeTopology::new(procs, arity as usize, mgr),
+                    )),
+                }
             })
             .collect();
         DsmNode {
@@ -262,7 +281,7 @@ impl DsmNode {
                 self.handle_barrier_arrive(h, barrier, src, set, time);
             }
             DsmMsg::BarrierRelease { barrier, set, time } => {
-                self.finish_barrier(h, barrier, set, time);
+                self.handle_barrier_release(h, barrier, set, time);
             }
         }
     }

@@ -18,7 +18,7 @@ impl DsmNode {
         );
         self.clock.tick();
         let seen = self.detect.seen_token(idx, &self.locks[idx].binding);
-        let home = lock.home(self.procs);
+        let home = self.cfg.home_map.lock_home(lock, self.procs);
         if home == self.me {
             let transfers = self.homes[idx]
                 .as_mut()
@@ -45,7 +45,7 @@ impl DsmNode {
         );
         self.locks[idx].held = None;
         self.clock.tick();
-        let home = lock.home(self.procs);
+        let home = self.cfg.home_map.lock_home(lock, self.procs);
         if home == self.me {
             let transfers = self.homes[idx]
                 .as_mut()

@@ -263,7 +263,7 @@ impl Wire for DsmMsg {
             5 => Ok(DsmMsg::BarrierRelease {
                 barrier: BarrierId(r.u32("barrier")?),
                 time: r.u64("time")?,
-                set: decode_set(r)?,
+                set: std::sync::Arc::new(decode_set(r)?),
             }),
             t => Err(WireError(format!("unknown dsm tag {t}"))),
         }
@@ -375,7 +375,7 @@ mod tests {
                 ack: 16,
                 msg: DsmMsg::BarrierRelease {
                     barrier: BarrierId(0),
-                    set: UpdateSet::new(),
+                    set: std::sync::Arc::new(UpdateSet::new()),
                     time: 100,
                 },
             },

@@ -143,8 +143,44 @@ impl HomeLock {
     }
 }
 
+/// A malformed barrier arrival: the sender broke the protocol, so the
+/// site cannot make progress. Callers surface this through the
+/// transport's `protocol_violation` path rather than panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BarrierError {
+    /// A processor arrived twice in one episode.
+    DoubleArrival {
+        /// The offending processor.
+        from: usize,
+        /// The episode being gathered when it re-arrived.
+        episode: u64,
+    },
+    /// An arrival from a processor that is not a child of this node in
+    /// the combining tree.
+    NotAChild {
+        /// The offending processor.
+        from: usize,
+    },
+}
+
+impl std::fmt::Display for BarrierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BarrierError::DoubleArrival { from, episode } => {
+                write!(f, "processor {from} arrived twice in episode {episode}")
+            }
+            BarrierError::NotAChild { from } => {
+                write!(
+                    f,
+                    "arrival from processor {from}, which is not a child of this node"
+                )
+            }
+        }
+    }
+}
+
 /// What the barrier manager hands back when the last processor arrives.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct BarrierRelease {
     /// The episode that just completed.
     pub episode: u64,
@@ -183,19 +219,25 @@ impl BarrierSite {
     }
 
     /// Processor `from` arrives with its collected updates. Returns the
-    /// release when this completes the episode.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `from` arrives twice in one episode.
-    pub fn arrive(&mut self, from: usize, update: UpdateSet) -> Option<BarrierRelease> {
-        assert!(!self.arrived[from], "processor {from} arrived twice");
+    /// release when this completes the episode, or a [`BarrierError`] on
+    /// a double arrival (a protocol violation the caller must surface).
+    pub fn arrive(
+        &mut self,
+        from: usize,
+        update: UpdateSet,
+    ) -> Result<Option<BarrierRelease>, BarrierError> {
+        if self.arrived[from] {
+            return Err(BarrierError::DoubleArrival {
+                from,
+                episode: self.episode,
+            });
+        }
         self.arrived[from] = true;
         self.arrivals += 1;
         self.merged.merge_newer(update.clone());
         self.contributions[from] = update;
         if self.arrivals < self.procs {
-            return None;
+            return Ok(None);
         }
         // Episode complete: build per-processor payloads and reset.
         let merged = std::mem::take(&mut self.merged);
@@ -211,7 +253,7 @@ impl BarrierSite {
         self.episode += 1;
         self.arrived.fill(false);
         self.arrivals = 0;
-        Some(BarrierRelease { episode, per_proc })
+        Ok(Some(BarrierRelease { episode, per_proc }))
     }
 }
 
@@ -412,6 +454,7 @@ mod tests {
                     items: vec![item(0, 1)]
                 }
             )
+            .expect("clean arrival")
             .is_none());
         assert!(b
             .arrive(
@@ -420,8 +463,12 @@ mod tests {
                     items: vec![item(8, 2)]
                 }
             )
+            .expect("clean arrival")
             .is_none());
-        let rel = b.arrive(1, UpdateSet::new()).unwrap();
+        let rel = b
+            .arrive(1, UpdateSet::new())
+            .expect("clean arrival")
+            .expect("last arrival releases");
         assert_eq!(rel.episode, 0);
         // Each processor receives the others' updates, not its own.
         assert_eq!(rel.per_proc[0].items.len(), 1);
@@ -430,7 +477,10 @@ mod tests {
         assert_eq!(rel.per_proc[2].items[0].addr, 0);
         // Ready for the next episode.
         assert_eq!(b.episode(), 1);
-        assert!(b.arrive(0, UpdateSet::new()).is_none());
+        assert!(b
+            .arrive(0, UpdateSet::new())
+            .expect("clean arrival")
+            .is_none());
     }
 
     #[test]
@@ -445,14 +495,19 @@ mod tests {
             UpdateSet {
                 items: vec![item(16, 5)],
             },
-        );
+        )
+        .expect("clean arrival");
         b.arrive(
             1,
             UpdateSet {
                 items: vec![item(16, 9)],
             },
-        );
-        let rel = b.arrive(2, UpdateSet::new()).unwrap();
+        )
+        .expect("clean arrival");
+        let rel = b
+            .arrive(2, UpdateSet::new())
+            .expect("clean arrival")
+            .expect("last arrival releases");
         assert!(rel.per_proc[0].items.is_empty());
         assert!(rel.per_proc[1].items.is_empty());
         assert_eq!(rel.per_proc[2].items.len(), 1);
@@ -460,10 +515,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "arrived twice")]
-    fn double_arrival_is_a_bug() {
+    fn double_arrival_is_an_error_not_a_panic() {
         let mut b = BarrierSite::new(2);
-        b.arrive(0, UpdateSet::new());
-        b.arrive(0, UpdateSet::new());
+        b.arrive(0, UpdateSet::new())
+            .expect("first arrival is clean");
+        assert_eq!(
+            b.arrive(0, UpdateSet::new()),
+            Err(BarrierError::DoubleArrival {
+                from: 0,
+                episode: 0
+            })
+        );
+        // The offender did not corrupt the episode: the missing processor
+        // still completes it.
+        let rel = b
+            .arrive(1, UpdateSet::new())
+            .expect("clean arrival")
+            .expect("all arrived");
+        assert_eq!(rel.episode, 0);
     }
 }

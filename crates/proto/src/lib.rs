@@ -22,6 +22,10 @@
 //! * [`HomeLock`] — the home-node lock state machine (exclusive and
 //!   non-exclusive modes).
 //! * [`BarrierSite`] — the manager-side barrier state machine.
+//! * [`TreeSite`] — the combining-tree barrier, the scale-out alternative
+//!   to the flat site (bounded per-node fan-in at hundreds of
+//!   processors), with [`HomeMap`] assigning lock homes and barrier
+//!   managers (modulo or hash-sharded).
 //! * [`channel`] — the reliable-delivery channel (sequence numbers,
 //!   cumulative acks, retransmission with backoff) that keeps all of the
 //!   above correct on a lossy network.
@@ -33,6 +37,7 @@ mod clock;
 mod home;
 pub mod rt;
 mod sync_id;
+mod tree;
 pub mod untargetted;
 mod update;
 pub mod vm;
@@ -42,6 +47,7 @@ pub use channel::{
     Accept, LinkStats, RecvChannel, ReliableParams, SendChannel, RELIABLE_HEADER_BYTES,
 };
 pub use clock::LamportClock;
-pub use home::{BarrierSite, HomeLock, SeenToken, Transfer};
-pub use sync_id::{BarrierId, LockId, Mode};
+pub use home::{BarrierError, BarrierSite, HomeLock, SeenToken, Transfer};
+pub use sync_id::{BarrierId, HomeMap, LockId, Mode};
+pub use tree::{TreeSite, TreeStep, TreeTopology};
 pub use update::{Update, UpdateItem, UpdateSet, ITEM_HEADER_BYTES, MSG_HEADER_BYTES};

@@ -1,10 +1,13 @@
-//! Synchronization object identities and acquisition modes.
+//! Synchronization object identities, acquisition modes, and the
+//! pluggable home assignment ([`HomeMap`]).
 
-/// Identifies a lock. The lock's *home* processor is `id % procs`.
+/// Identifies a lock. The lock's *home* processor is assigned by the
+/// cluster's [`HomeMap`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct LockId(pub u32);
 
-/// Identifies a barrier. The barrier's *manager* is `id % procs`.
+/// Identifies a barrier. The barrier's *manager* is assigned by the
+/// cluster's [`HomeMap`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct BarrierId(pub u32);
 
@@ -18,17 +21,73 @@ pub enum Mode {
     Shared,
 }
 
+/// Assigns every synchronization object a *home* processor — the
+/// serialization point for its requests. Pluggable so deployments can
+/// trade locality (modulo keeps consecutive ids on consecutive
+/// processors) against hot-spot avoidance (sharding scatters dense id
+/// ranges, e.g. a task queue allocating consecutive slot locks, across
+/// the whole cluster).
+///
+/// Lock and barrier id spaces are independent, so the map mixes in a
+/// kind discriminant: a lock and a barrier with equal ids need not share
+/// a home.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum HomeMap {
+    /// `id % procs` — the paper's layout and the historical default.
+    #[default]
+    Modulo,
+    /// Hash-sharded: a seeded splitmix of the id picks the home, so any
+    /// contiguous id range spreads evenly over the cluster.
+    Sharded {
+        /// Placement seed; runs with equal seeds place identically.
+        seed: u64,
+    },
+}
+
+impl HomeMap {
+    /// The home processor of `lock` in a `procs`-processor cluster.
+    pub fn lock_home(self, lock: LockId, procs: usize) -> usize {
+        self.place(0, lock.0, procs)
+    }
+
+    /// The manager processor of `barrier` in a `procs`-processor cluster.
+    pub fn barrier_manager(self, barrier: BarrierId, procs: usize) -> usize {
+        self.place(1, barrier.0, procs)
+    }
+
+    fn place(self, kind: u64, id: u32, procs: usize) -> usize {
+        debug_assert!(procs > 0, "empty cluster has no homes");
+        match self {
+            HomeMap::Modulo => id as usize % procs,
+            HomeMap::Sharded { seed } => {
+                (mix(seed ^ (kind << 32) ^ u64::from(id)) % procs as u64) as usize
+            }
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+fn mix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 impl LockId {
-    /// The lock's home processor in a `procs`-processor cluster.
+    /// The lock's home under the historical modulo map. Prefer
+    /// [`HomeMap::lock_home`]; kept for callers with no config in scope.
     pub fn home(self, procs: usize) -> usize {
-        self.0 as usize % procs
+        HomeMap::Modulo.lock_home(self, procs)
     }
 }
 
 impl BarrierId {
-    /// The barrier's manager processor in a `procs`-processor cluster.
+    /// The barrier's manager under the historical modulo map. Prefer
+    /// [`HomeMap::barrier_manager`]; kept for callers with no config in
+    /// scope.
     pub fn manager(self, procs: usize) -> usize {
-        self.0 as usize % procs
+        HomeMap::Modulo.barrier_manager(self, procs)
     }
 }
 
@@ -41,5 +100,52 @@ mod tests {
         assert_eq!(LockId(0).home(8), 0);
         assert_eq!(LockId(9).home(8), 1);
         assert_eq!(BarrierId(3).manager(2), 1);
+    }
+
+    #[test]
+    fn modulo_map_matches_historical_layout() {
+        for procs in [1usize, 3, 8, 64] {
+            for id in 0..200u32 {
+                assert_eq!(
+                    HomeMap::Modulo.lock_home(LockId(id), procs),
+                    id as usize % procs
+                );
+                assert_eq!(
+                    HomeMap::Modulo.barrier_manager(BarrierId(id), procs),
+                    id as usize % procs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_map_balances_dense_id_ranges() {
+        // A contiguous block of lock ids (a task queue's slot locks) must
+        // not pile onto a few processors.
+        let procs = 64;
+        let map = HomeMap::Sharded { seed: 11 };
+        let mut per_home = vec![0usize; procs];
+        for id in 0..64_000u32 {
+            per_home[map.lock_home(LockId(id), procs)] += 1;
+        }
+        let (min, max) = (
+            *per_home.iter().min().expect("nonempty"),
+            *per_home.iter().max().expect("nonempty"),
+        );
+        assert!(
+            max < min * 2,
+            "sharded homes unbalanced: min {min}, max {max}"
+        );
+    }
+
+    #[test]
+    fn sharded_map_is_deterministic_and_kind_sensitive() {
+        let map = HomeMap::Sharded { seed: 5 };
+        assert_eq!(map.lock_home(LockId(7), 16), map.lock_home(LockId(7), 16));
+        // Locks and barriers hash independently: over many ids the two
+        // kinds must disagree somewhere.
+        let disagree = (0..64u32)
+            .any(|id| map.lock_home(LockId(id), 16) != map.barrier_manager(BarrierId(id), 16));
+        assert!(disagree, "kind discriminant has no effect");
     }
 }

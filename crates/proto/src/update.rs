@@ -52,11 +52,42 @@ impl UpdateSet {
         self.data_bytes() + ITEM_HEADER_BYTES * self.items.len() as u64
     }
 
+    /// True when items are in strictly increasing address order (the
+    /// invariant every detector-produced set satisfies).
+    fn addr_sorted(&self) -> bool {
+        self.items.windows(2).all(|w| w[0].addr < w[1].addr)
+    }
+
     /// Merges `other` into `self`, keeping the newer item when both carry
     /// the same address (ties broken toward `other`).
     ///
     /// Used by the barrier manager to combine per-processor contributions.
+    /// Sorted inputs take a linear two-pointer merge; anything else falls
+    /// back to the quadratic find-and-replace with identical semantics.
     pub fn merge_newer(&mut self, other: UpdateSet) {
+        if self.addr_sorted() && other.addr_sorted() {
+            let mut merged = Vec::with_capacity(self.items.len() + other.items.len());
+            let mut a = std::mem::take(&mut self.items).into_iter().peekable();
+            let mut b = other.items.into_iter().peekable();
+            loop {
+                match (a.peek(), b.peek()) {
+                    (Some(x), Some(y)) => match x.addr.cmp(&y.addr) {
+                        std::cmp::Ordering::Less => merged.push(a.next().expect("peeked")),
+                        std::cmp::Ordering::Greater => merged.push(b.next().expect("peeked")),
+                        std::cmp::Ordering::Equal => {
+                            let mine = a.next().expect("peeked");
+                            let theirs = b.next().expect("peeked");
+                            merged.push(if theirs.ts >= mine.ts { theirs } else { mine });
+                        }
+                    },
+                    (Some(_), None) => merged.push(a.next().expect("peeked")),
+                    (None, Some(_)) => merged.push(b.next().expect("peeked")),
+                    (None, None) => break,
+                }
+            }
+            self.items = merged;
+            return;
+        }
         for item in other.items {
             match self.items.iter_mut().find(|i| i.addr == item.addr) {
                 Some(existing) => {
@@ -72,7 +103,25 @@ impl UpdateSet {
 
     /// The subset of items whose address is not in `exclude` (used when a
     /// barrier release avoids echoing a processor's own contribution).
+    /// Self order is preserved; a sorted `exclude` takes a two-pointer
+    /// walk instead of a hash lookup per item.
     pub fn excluding_addrs_of(&self, exclude: &UpdateSet) -> UpdateSet {
+        if exclude.addr_sorted() && self.addr_sorted() {
+            let ex = &exclude.items;
+            let mut k = 0usize;
+            let items = self
+                .items
+                .iter()
+                .filter(|i| {
+                    while k < ex.len() && ex[k].addr < i.addr {
+                        k += 1;
+                    }
+                    !(k < ex.len() && ex[k].addr == i.addr)
+                })
+                .cloned()
+                .collect();
+            return UpdateSet { items };
+        }
         let addrs: std::collections::HashSet<u64> = exclude.items.iter().map(|i| i.addr).collect();
         UpdateSet {
             items: self
@@ -163,5 +212,85 @@ mod tests {
         let set = UpdateSet::new();
         assert!(set.is_empty());
         assert_eq!(set.wire_size(), 0);
+    }
+
+    /// The quadratic find-and-replace the two-pointer merge must match.
+    fn reference_merge(a: &UpdateSet, b: &UpdateSet) -> UpdateSet {
+        let mut out = a.clone();
+        for item in b.items.clone() {
+            match out.items.iter_mut().find(|i| i.addr == item.addr) {
+                Some(existing) => {
+                    if item.ts >= existing.ts {
+                        *existing = item;
+                    }
+                }
+                None => out.items.push(item),
+            }
+        }
+        out.items.sort_by_key(|i| i.addr);
+        out
+    }
+
+    fn random_sorted_set(seed: u64, max_items: u64) -> UpdateSet {
+        // Simple splitmix-style generator; addresses strictly increasing.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let n = next() % max_items;
+        let mut addr = 0u64;
+        let items = (0..n)
+            .map(|_| {
+                addr += 8 * (1 + next() % 4);
+                item(addr, 8, next() % 4)
+            })
+            .collect();
+        UpdateSet { items }
+    }
+
+    #[test]
+    fn two_pointer_merge_matches_reference() {
+        for seed in 0..200u64 {
+            let a = random_sorted_set(seed * 2 + 1, 24);
+            let b = random_sorted_set(seed * 2 + 2, 24);
+            let mut fast = a.clone();
+            fast.merge_newer(b.clone());
+            assert_eq!(fast, reference_merge(&a, &b), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn two_pointer_exclusion_matches_reference() {
+        for seed in 0..200u64 {
+            let a = random_sorted_set(seed * 3 + 1, 24);
+            let b = random_sorted_set(seed * 3 + 2, 24);
+            let addrs: std::collections::HashSet<u64> = b.items.iter().map(|i| i.addr).collect();
+            let want = UpdateSet {
+                items: a
+                    .items
+                    .iter()
+                    .filter(|i| !addrs.contains(&i.addr))
+                    .cloned()
+                    .collect(),
+            };
+            assert_eq!(a.excluding_addrs_of(&b), want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unsorted_inputs_fall_back_to_reference_semantics() {
+        let a = UpdateSet {
+            items: vec![item(16, 8, 1), item(0, 8, 2)], // unsorted
+        };
+        let b = UpdateSet {
+            items: vec![item(0, 8, 2), item(8, 8, 1)],
+        };
+        let mut m = a.clone();
+        m.merge_newer(b.clone());
+        assert_eq!(m, reference_merge(&a, &b));
     }
 }

@@ -143,7 +143,8 @@ fn parse_scale(s: &str) -> Result<Scale, String> {
         "paper" => Ok(Scale::Paper),
         "medium" => Ok(Scale::Medium),
         "small" => Ok(Scale::Small),
-        _ => Err(format!("unknown scale {s:?} (use paper|medium|small)")),
+        "dc" => Ok(Scale::Datacenter),
+        _ => Err(format!("unknown scale {s:?} (use paper|medium|small|dc)")),
     }
 }
 

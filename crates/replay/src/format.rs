@@ -12,6 +12,10 @@
 //!         fault plan (v3+: enabled (1 byte) + 7 varints) and reliable
 //!         channel params (v3+: 3 varints) — absent in v1/v2, which
 //!         decode as "perfect network, default channel",
+//!         home map (v4+: tag (1 byte), sharded adds a seed varint) and
+//!         barrier shape (v4+: tag (1 byte), tree adds an arity varint)
+//!         — absent before v4, which decodes as "modulo homes, flat
+//!         barriers",
 //!         finish_cycles, messages,
 //!         counters: procs × 16 varints (Table 2 field order)
 //! blueprint
@@ -35,8 +39,8 @@
 //! files are rejected rather than misread.
 
 use midway_core::{
-    AllocSpec, BackendKind, BarrierSpec, Counters, MidwayConfig, ReliableParams, SpecBlueprint,
-    TraceOp,
+    AllocSpec, BackendKind, BarrierShape, BarrierSpec, Counters, HomeMap, MidwayConfig,
+    ReliableParams, SpecBlueprint, TraceOp,
 };
 use midway_mem::AddrRange;
 use midway_sim::{FaultPlan, NetModel};
@@ -49,9 +53,12 @@ pub const MAGIC: [u8; 4] = *b"MWTR";
 /// Current format version. Version 2 added the `hybrid` backend tag (the
 /// byte layout is unchanged — backend tags are append-only); version 3
 /// added the fault plan and reliable-channel parameters to the header so
-/// faulty runs replay deterministically. Version 1 and 2 files still
-/// decode (as fault-free configurations).
-pub const VERSION: u64 = 3;
+/// faulty runs replay deterministically; version 4 added the sync-home
+/// placement map and barrier shape so scale-out runs (sharded homes,
+/// combining-tree barriers) replay bit-for-bit. Older files still decode:
+/// v1/v2 as fault-free, and anything before v4 as modulo homes with flat
+/// barriers — exactly the configuration those traces ran under.
+pub const VERSION: u64 = 4;
 
 /// The oldest format version the decoder accepts.
 pub const MIN_VERSION: u64 = 1;
@@ -199,6 +206,26 @@ impl Writer {
         self.varint(p.timer_cost_cycles);
     }
 
+    fn home_map(&mut self, h: HomeMap) {
+        match h {
+            HomeMap::Modulo => self.byte(0),
+            HomeMap::Sharded { seed } => {
+                self.byte(1);
+                self.varint(seed);
+            }
+        }
+    }
+
+    fn barrier_shape(&mut self, b: BarrierShape) {
+        match b {
+            BarrierShape::Flat => self.byte(0),
+            BarrierShape::Tree { arity } => {
+                self.byte(1);
+                self.varint(u64::from(arity));
+            }
+        }
+    }
+
     fn counters(&mut self, c: &Counters) {
         for v in [
             c.dirtybits_set,
@@ -278,6 +305,8 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
     w.net(&m.cfg.net);
     w.faults(&m.cfg.faults);
     w.reliable(&m.cfg.reliable);
+    w.home_map(m.cfg.home_map);
+    w.barrier_shape(m.cfg.barrier);
     w.varint(m.finish_cycles);
     w.varint(m.messages);
     assert_eq!(
@@ -464,6 +493,30 @@ impl<'a> Reader<'a> {
         })
     }
 
+    fn home_map(&mut self) -> Result<HomeMap, TraceError> {
+        match self.byte()? {
+            0 => Ok(HomeMap::Modulo),
+            1 => Ok(HomeMap::Sharded {
+                seed: self.varint()?,
+            }),
+            _ => Err(TraceError::Malformed("unknown home-map tag")),
+        }
+    }
+
+    fn barrier_shape(&mut self) -> Result<BarrierShape, TraceError> {
+        match self.byte()? {
+            0 => Ok(BarrierShape::Flat),
+            1 => {
+                let arity = self.u32field()?;
+                if arity < 2 {
+                    return Err(TraceError::Malformed("tree barrier arity below 2"));
+                }
+                Ok(BarrierShape::Tree { arity })
+            }
+            _ => Err(TraceError::Malformed("unknown barrier-shape tag")),
+        }
+    }
+
     fn counters(&mut self) -> Result<Counters, TraceError> {
         let mut c = Counters::default();
         for f in [
@@ -566,6 +619,12 @@ pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
         // v1/v2 traces predate fault injection: perfect network.
         (FaultPlan::none(), ReliableParams::atm_cluster())
     };
+    let (home_map, barrier) = if version >= 4 {
+        (r.home_map()?, r.barrier_shape()?)
+    } else {
+        // Pre-v4 traces ran with the only placement that existed.
+        (HomeMap::Modulo, BarrierShape::Flat)
+    };
     let finish_cycles = r.varint()?;
     let messages = r.varint()?;
     let counters = (0..procs)
@@ -580,6 +639,8 @@ pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
         record: false,
         faults,
         reliable,
+        home_map,
+        barrier,
         // Checking is a per-replay choice, never a property of the file.
         check: false,
     };

@@ -6,9 +6,27 @@
 //! clock to the delivery time, every event it subsequently posts is later
 //! than anything already delivered, so deliveries are nondecreasing in
 //! virtual time and the execution is deterministic.
+//!
+//! Two scale-out refinements keep the dispatch path O(log queue) instead of
+//! O(procs):
+//!
+//! * Waiter sets. Blocked and draining processors are tracked in indexed
+//!   sets ([`ProcSet`]: swap-remove vector plus position map, O(1) each
+//!   way), so deadlock detection is an `is_empty` check, the deadlock
+//!   report is built lazily from the index only after a deadlock has been
+//!   detected, and quiescence walks exactly the drainers instead of
+//!   scanning every processor's state.
+//! * Event batching. When consecutive heap minima are addressed to the
+//!   same processor at the same instant, they are delivered as one batch
+//!   and drained by the destination across successive `recv`s without
+//!   rendezvousing with the scheduler in between. Batching only events
+//!   with `src <= dst` keeps the schedule identical to one-at-a-time
+//!   delivery: anything the woken processor posts sorts at
+//!   `(t', dst, fresh seq)` with `t' >= t`, which the heap orders after
+//!   every batched `(t, src <= dst, older seq)` entry.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::event::Event;
@@ -28,14 +46,58 @@ pub(crate) enum ProcState {
     Done,
 }
 
-/// What the scheduler left in a processor's single-slot mailbox.
+/// An indexed set of processor ids: O(1) insert, O(1) remove, O(members)
+/// iteration. `pos[p]` is `p`'s index in `members`, or `usize::MAX` when
+/// absent; removal swap-removes, so iteration order is arbitrary.
+pub(crate) struct ProcSet {
+    members: Vec<usize>,
+    pos: Vec<usize>,
+}
+
+impl ProcSet {
+    const ABSENT: usize = usize::MAX;
+
+    fn new(procs: usize) -> ProcSet {
+        ProcSet {
+            members: Vec::with_capacity(procs),
+            pos: vec![Self::ABSENT; procs],
+        }
+    }
+
+    fn insert(&mut self, p: usize) {
+        debug_assert_eq!(self.pos[p], Self::ABSENT, "proc {p} already in set");
+        self.pos[p] = self.members.len();
+        self.members.push(p);
+    }
+
+    fn remove(&mut self, p: usize) {
+        let at = self.pos[p];
+        debug_assert_ne!(at, Self::ABSENT, "proc {p} not in set");
+        self.pos[p] = Self::ABSENT;
+        self.members.swap_remove(at);
+        if let Some(&moved) = self.members.get(at) {
+            self.pos[moved] = at;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The members in ascending order (sorted on demand: this is the
+    /// report path, not the hot path).
+    fn sorted(&self) -> Vec<usize> {
+        let mut v = self.members.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// What the scheduler left in a processor's mailbox: a batch of
+/// ready-to-consume deliveries, drained front-to-back.
 pub(crate) enum Slot<M> {
     Empty,
-    Msg {
-        at: VirtualTime,
-        src: usize,
-        msg: M,
-    },
+    Msgs(VecDeque<(VirtualTime, usize, M)>),
     /// The cluster has quiesced; a draining processor may finish.
     Quiesce,
 }
@@ -65,6 +127,10 @@ pub(crate) struct SchedInner<M> {
     pub slots: Vec<Slot<M>>,
     pub poison: Option<Poison>,
     pub delivered: u64,
+    /// Processors currently in [`ProcState::Blocked`].
+    blocked: ProcSet,
+    /// Processors currently in [`ProcState::Draining`].
+    draining: ProcSet,
 }
 
 /// The scheduler: one shared state mutex plus **one condvar per
@@ -104,6 +170,8 @@ impl<M> Scheduler<M> {
                 slots: (0..procs).map(|_| Slot::Empty).collect(),
                 poison: None,
                 delivered: 0,
+                blocked: ProcSet::new(procs),
+                draining: ProcSet::new(procs),
             }),
             cvs: (0..procs).map(|_| Condvar::new()).collect(),
         }
@@ -118,6 +186,10 @@ impl<M> Scheduler<M> {
 
     /// Blocks processor `me` until a message arrives (or, when `draining`,
     /// until the cluster quiesces). Returns `Ok(None)` only on quiescence.
+    ///
+    /// When a prior dispatch left a batch in this processor's slot, the
+    /// next delivery is consumed immediately — the thread stays `Running`
+    /// and never rendezvouses with the scheduler.
     pub fn block_recv(
         &self,
         me: usize,
@@ -125,12 +197,20 @@ impl<M> Scheduler<M> {
     ) -> Result<Option<(VirtualTime, usize, M)>, Poison> {
         let mut inner = self.lock();
         debug_assert_eq!(inner.procs[me], ProcState::Running);
+        if let Some(p) = &inner.poison {
+            return Err(p.clone());
+        }
+        if let Some(m) = Self::take_from_slot(&mut inner.slots[me]) {
+            return Ok(Some(m));
+        }
         inner.running -= 1;
-        inner.procs[me] = if draining {
-            ProcState::Draining
+        if draining {
+            inner.procs[me] = ProcState::Draining;
+            inner.draining.insert(me);
         } else {
-            ProcState::Blocked
-        };
+            inner.procs[me] = ProcState::Blocked;
+            inner.blocked.insert(me);
+        }
         if inner.running == 0 {
             self.dispatch(&mut inner);
         }
@@ -138,25 +218,32 @@ impl<M> Scheduler<M> {
             if let Some(p) = &inner.poison {
                 return Err(p.clone());
             }
-            match std::mem::replace(&mut inner.slots[me], Slot::Empty) {
-                Slot::Msg { at, src, msg } => {
-                    debug_assert_eq!(inner.procs[me], ProcState::Running);
-                    return Ok(Some((at, src, msg)));
-                }
-                Slot::Quiesce => {
-                    debug_assert!(draining);
-                    return Ok(None);
-                }
-                Slot::Empty => {
-                    // Waiting on this processor's own slot: only a
-                    // delivery addressed here (or poison/quiesce) wakes
-                    // this thread.
-                    inner = self.cvs[me]
-                        .wait(inner)
-                        .unwrap_or_else(PoisonError::into_inner);
-                }
+            if let Slot::Quiesce = inner.slots[me] {
+                debug_assert!(draining);
+                inner.slots[me] = Slot::Empty;
+                return Ok(None);
             }
+            if let Some(m) = Self::take_from_slot(&mut inner.slots[me]) {
+                debug_assert_eq!(inner.procs[me], ProcState::Running);
+                return Ok(Some(m));
+            }
+            // Waiting on this processor's own slot: only a delivery
+            // addressed here (or poison/quiesce) wakes this thread.
+            inner = self.cvs[me]
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    /// Pops the next delivery from a slot batch, normalizing an emptied
+    /// batch back to `Empty`.
+    fn take_from_slot(slot: &mut Slot<M>) -> Option<(VirtualTime, usize, M)> {
+        let Slot::Msgs(q) = slot else { return None };
+        let m = q.pop_front();
+        if q.is_empty() {
+            *slot = Slot::Empty;
+        }
+        m
     }
 
     /// Marks `me` finished. Valid from `Running` (closure returned without
@@ -165,6 +252,14 @@ impl<M> Scheduler<M> {
         let mut inner = self.lock();
         match inner.procs[me] {
             ProcState::Running => {
+                // A leftover batched delivery is a message to a finished
+                // processor, exactly as if it were still in the heap.
+                if let Slot::Msgs(q) = &inner.slots[me] {
+                    if let Some(&(_, src, _)) = q.front() {
+                        self.poison_locked(&mut inner, Poison::MessageToFinished { src, dst: me });
+                        return;
+                    }
+                }
                 inner.running -= 1;
                 inner.procs[me] = ProcState::Done;
                 if inner.running == 0 {
@@ -175,6 +270,7 @@ impl<M> Scheduler<M> {
                 // Already excluded from `running` by `block_recv`. The
                 // quiescence decision does not need re-evaluation: it fires
                 // only once all drainers are released together.
+                inner.draining.remove(me);
                 inner.procs[me] = ProcState::Done;
             }
             s => panic!("finish() from invalid state {s:?}"),
@@ -190,8 +286,11 @@ impl<M> Scheduler<M> {
     /// Marks `me` dead after a panic and poisons the cluster.
     pub fn abandon(&self, me: usize, message: String) {
         let mut inner = self.lock();
-        if inner.procs[me] == ProcState::Running {
-            inner.running -= 1;
+        match inner.procs[me] {
+            ProcState::Running => inner.running -= 1,
+            ProcState::Blocked => inner.blocked.remove(me),
+            ProcState::Draining => inner.draining.remove(me),
+            ProcState::Done => {}
         }
         inner.procs[me] = ProcState::Done;
         self.poison_locked(&mut inner, Poison::Panic { proc: me, message });
@@ -213,13 +312,15 @@ impl<M> Scheduler<M> {
         }
     }
 
-    /// Delivers the minimal pending event, or detects deadlock/quiescence.
-    /// Must be called with `running == 0`.
+    /// Delivers the minimal pending event — plus every consecutive heap
+    /// minimum for the same destination at the same instant — or detects
+    /// deadlock/quiescence. Must be called with `running == 0`.
     ///
-    /// The hot path — one event delivered to a blocked destination —
-    /// performs no allocation and wakes exactly one thread. The deadlock
-    /// report (which does allocate) is built only in the empty-queue arm,
-    /// after the deadlock has actually been detected.
+    /// The hot path — a batch delivered to a blocked destination —
+    /// allocates only the batch deque and wakes exactly one thread. The
+    /// deadlock report (which allocates and sorts) is built from the
+    /// blocked index only in the empty-queue arm, after the deadlock has
+    /// actually been detected.
     fn dispatch(&self, inner: &mut SchedInner<M>) {
         debug_assert_eq!(inner.running, 0);
         if inner.poison.is_some() {
@@ -231,19 +332,39 @@ impl<M> Scheduler<M> {
         match inner.queue.pop() {
             Some(Reverse(ev)) => match inner.procs[ev.dst] {
                 ProcState::Blocked | ProcState::Draining => {
-                    inner.slots[ev.dst] = Slot::Msg {
-                        at: ev.deliver_at,
-                        src: ev.src,
-                        msg: ev.msg,
-                    };
-                    inner.procs[ev.dst] = ProcState::Running;
+                    let dst = ev.dst;
+                    let at = ev.deliver_at;
+                    let mut batch = VecDeque::with_capacity(1);
+                    batch.push_back((ev.deliver_at, ev.src, ev.msg));
+                    // Batch every consecutive minimum bound for the same
+                    // slot at the same instant. `src <= dst` keeps the
+                    // order identical to one-at-a-time delivery: whatever
+                    // the destination posts once woken carries a fresh
+                    // (higher) sequence number from `src == dst` at a time
+                    // `>= at`, which sorts after everything taken here.
+                    while let Some(Reverse(next)) = inner.queue.peek() {
+                        if next.dst != dst || next.deliver_at != at || next.src > dst {
+                            break;
+                        }
+                        let Some(Reverse(n)) = inner.queue.pop() else {
+                            unreachable!("peeked event vanished")
+                        };
+                        batch.push_back((n.deliver_at, n.src, n.msg));
+                    }
+                    inner.delivered += batch.len() as u64;
+                    inner.slots[dst] = Slot::Msgs(batch);
+                    if inner.procs[dst] == ProcState::Blocked {
+                        inner.blocked.remove(dst);
+                    } else {
+                        inner.draining.remove(dst);
+                    }
+                    inner.procs[dst] = ProcState::Running;
                     inner.running = 1;
-                    inner.delivered += 1;
                     // Targeted wakeup: only the destination has anything
                     // to do. If the destination is the caller itself it
                     // has not started waiting yet; it re-checks its slot
                     // before sleeping, so the notify is not needed there.
-                    self.cvs[ev.dst].notify_one();
+                    self.cvs[dst].notify_one();
                 }
                 ProcState::Done => {
                     self.poison_locked(
@@ -258,23 +379,17 @@ impl<M> Scheduler<M> {
                 ProcState::Running => unreachable!("running proc while dispatching"),
             },
             None => {
-                if inner.procs.contains(&ProcState::Blocked) {
-                    let blocked: Vec<usize> = inner
-                        .procs
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, s)| **s == ProcState::Blocked)
-                        .map(|(i, _)| i)
-                        .collect();
+                if !inner.blocked.is_empty() {
+                    // Stuck: build the report lazily, off the index.
+                    let blocked = inner.blocked.sorted();
                     self.poison_locked(inner, Poison::Deadlock { blocked });
                 } else {
                     // Everyone is Draining or Done and nothing is in
                     // flight: release the drainers — and wake only them.
-                    for (i, s) in inner.procs.iter().enumerate() {
-                        if *s == ProcState::Draining {
-                            inner.slots[i] = Slot::Quiesce;
-                            self.cvs[i].notify_one();
-                        }
+                    for i in 0..inner.draining.members.len() {
+                        let p = inner.draining.members[i];
+                        inner.slots[p] = Slot::Quiesce;
+                        self.cvs[p].notify_one();
                     }
                 }
             }
@@ -314,6 +429,32 @@ mod tests {
             let d = draining.join().unwrap();
             assert_eq!(b, Err(Poison::Deadlock { blocked: vec![0] }));
             assert_eq!(d, Err(Poison::Deadlock { blocked: vec![0] }));
+        });
+    }
+
+    /// The deadlock report is sorted ascending no matter the order the
+    /// processors blocked in (the waiter index swap-removes, so its raw
+    /// order is arbitrary).
+    #[test]
+    fn deadlock_report_is_sorted() {
+        let sched: Scheduler<u32> = Scheduler::new(4);
+        std::thread::scope(|s| {
+            // Block in descending order so the raw index is reversed.
+            let w2 = s.spawn(|| sched.block_recv(2, false));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let w0 = s.spawn(|| sched.block_recv(0, false));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let w1 = s.spawn(|| sched.block_recv(1, false));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            sched.finish(3);
+            for w in [w0, w1, w2] {
+                assert_eq!(
+                    w.join().unwrap(),
+                    Err(Poison::Deadlock {
+                        blocked: vec![0, 1, 2]
+                    })
+                );
+            }
         });
     }
 
@@ -361,6 +502,60 @@ mod tests {
         });
     }
 
+    /// Same destination, same instant, `src <= dst`: the events are
+    /// delivered as one batch and drained across successive `recv`s in
+    /// `(time, src, seq)` order, without the destination rendezvousing
+    /// with the scheduler in between.
+    #[test]
+    fn same_instant_events_drain_as_one_batch() {
+        let sched: Scheduler<u32> = Scheduler::new(3);
+        sched.post(ev(1, 2, 100, 0, 10));
+        sched.post(ev(0, 2, 100, 1, 20));
+        sched.post(ev(2, 2, 100, 2, 30)); // self-post: src == dst batches too
+        std::thread::scope(|s| {
+            let p2 = s.spawn(|| {
+                let mut got = Vec::new();
+                for _ in 0..3 {
+                    let (at, src, msg) = sched.block_recv(2, false).unwrap().unwrap();
+                    got.push((at.cycles(), src, msg));
+                }
+                sched.finish(2);
+                got
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            sched.finish(0);
+            sched.finish(1);
+            let got = p2.join().unwrap();
+            // Heap order: (100, src 0) before (100, src 1) before (100, src 2).
+            assert_eq!(got, vec![(100, 0, 20), (100, 1, 10), (100, 2, 30)]);
+            assert_eq!(sched.delivered(), 3);
+        });
+    }
+
+    /// A processor that finishes with a batched delivery still pending is
+    /// a message-to-finished fault, exactly as if the event were still in
+    /// the heap.
+    #[test]
+    fn leftover_batch_at_finish_poisons() {
+        let sched: Scheduler<u32> = Scheduler::new(2);
+        sched.post(ev(0, 1, 50, 0, 1));
+        sched.post(ev(0, 1, 50, 1, 2));
+        std::thread::scope(|s| {
+            let p1 = s.spawn(|| {
+                // Consume one of the two batched deliveries, then finish.
+                let _ = sched.block_recv(1, false).unwrap();
+                sched.finish(1);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            sched.finish(0);
+            p1.join().unwrap();
+            assert_eq!(
+                sched.poison(),
+                Some(Poison::MessageToFinished { src: 0, dst: 1 })
+            );
+        });
+    }
+
     /// Poison set while waiters sit on their per-proc condvars reaches
     /// every one of them (the no-notify-storm replacement for the old
     /// global broadcast).
@@ -383,5 +578,25 @@ mod tests {
                 }
             }
         });
+    }
+
+    /// The indexed waiter set stays consistent through arbitrary
+    /// insert/remove interleavings (swap-remove bookkeeping).
+    #[test]
+    fn proc_set_tracks_membership() {
+        let mut s = ProcSet::new(8);
+        for p in [3, 1, 7, 0, 5] {
+            s.insert(p);
+        }
+        s.remove(1);
+        s.remove(5);
+        s.insert(2);
+        s.remove(3);
+        assert_eq!(s.sorted(), vec![0, 2, 7]);
+        assert!(!s.is_empty());
+        for p in [0, 2, 7] {
+            s.remove(p);
+        }
+        assert!(s.is_empty());
     }
 }

@@ -48,6 +48,26 @@ cargo run --release -q -p midway-replay --bin trace -- \
 cargo run --release -q -p midway-replay --bin trace -- \
     info "$smoke/sor-rt.mwt" >/dev/null
 
+echo "==> crash recovery smoke (every backend)"
+# crashcheck kills a processor a third of the way into the run and
+# demands (a) determinism — the crashed replay reruns bit-for-bit — and
+# (b) strict convergence: after checkpointed recovery the final memory
+# digests and Table 2 counters match the crash-free run exactly.
+for backend in rt vm blast twinall hybrid; do
+    cargo run --release -q -p midway-replay --bin trace -- \
+        crashcheck "$smoke/sor-$backend.mwt" --interval 2
+done
+# A crash on top of a lossy network: frames lost to the link and to the
+# crash window are all repaired by the same retransmission machinery.
+cargo run --release -q -p midway-replay --bin trace -- \
+    crashcheck "$smoke/sor-rt.mwt" --loss 10000 --fault-seed 7
+
+echo "==> crash sweep smoke"
+# One RT cell at small scale: checkpoint-interval pricing end to end
+# (premium row + claim row), convergence asserted inside the harness.
+cargo run --release -q -p midway-bench --bin crash_sweep -- \
+    --smoke --trace "$smoke/traces" --out "$smoke/crash_sweep.json"
+
 echo "==> hostperf smoke"
 # The host-performance basket at smoke size: exercises the chunked diff /
 # dirtybit-scan / digest hot paths and both backends end to end, and

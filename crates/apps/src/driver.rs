@@ -2,7 +2,8 @@
 //! harnesses to regenerate the paper's tables and figures.
 
 use midway_core::{
-    Counters, MidwayConfig, MidwayRun, RealConfig, RealError, SpecBlueprint, TraceOp, VirtualTime,
+    Counters, LinkStats, MidwayConfig, MidwayRun, RealConfig, RealError, SpecBlueprint, TraceOp,
+    VirtualTime,
 };
 
 use crate::{cholesky, matmul, quicksort, sor, water};
@@ -116,6 +117,9 @@ pub struct AppOutcome {
     pub verified: bool,
     /// Per-processor FNV-1a digests of the final local memory content.
     pub store_digests: Vec<u64>,
+    /// Per-processor reliable-channel activity (all zeros when the run's
+    /// fault plan is disabled and messages travel unframed).
+    pub link: Vec<LinkStats>,
     /// Per-processor recorded operation streams (empty unless the run was
     /// configured with `MidwayConfig::record`).
     pub traces: Vec<Vec<TraceOp>>,
@@ -127,6 +131,16 @@ pub struct AppOutcome {
 }
 
 impl AppOutcome {
+    /// Cluster-wide reliable-channel totals (all zeros on a trusted
+    /// network).
+    pub fn link_totals(&self) -> LinkStats {
+        let mut total = LinkStats::default();
+        for l in &self.link {
+            total.add(l);
+        }
+        total
+    }
+
     /// Packages any finished run as an outcome — e.g. a trace replay,
     /// which carries no application results of its own; the caller passes
     /// the `verified` flag recorded with the trace.
@@ -147,6 +161,7 @@ fn erase<R>(kind: AppKind, run: MidwayRun<R>, verified: bool) -> AppOutcome {
         counters: run.counters,
         verified,
         store_digests: run.store_digests,
+        link: run.link,
         traces: run.traces,
         blueprint: run.blueprint,
         check: run.check,

@@ -1,0 +1,230 @@
+//! Crash-recovery cost sweep: what surviving processor failures costs
+//! each write-detection backend, as a function of the checkpoint
+//! interval.
+//!
+//! Fault tolerance is paid for twice: continuously, in checkpoint images
+//! and write-ahead logging at release/barrier boundaries, and at crash
+//! time, in downtime plus state reconstruction from stable storage. One
+//! recorded trace drives every point: for each data-moving backend and
+//! each checkpoint interval the trace is replayed once with
+//! checkpointing alone (the insurance premium) and once with a scheduled
+//! mid-run crash (the claim), both against the same backend's
+//! unprotected baseline. Frequent checkpoints cost more boundary work
+//! but less recovery replay; the sweep prices that trade.
+//!
+//! Every crashed cell asserts final-memory convergence with the
+//! unprotected baseline when the application is lock-order independent
+//! (the default sor is).
+//!
+//! Shares the standard harness flags; additionally `--app NAME` picks
+//! the recorded application, `--crashes A,B,...` sets the swept crash
+//! counts (each count schedules that many staggered crashes across
+//! processors; default `1,3`), `--intervals A,B,...` overrides the
+//! swept checkpoint intervals, and `--smoke` runs the CI cell (small
+//! scale, 4 processors, RT only, one interval, one crash).
+
+use midway_apps::AppKind;
+use midway_bench::{banner, cached_trace, run_cells, BenchArgs, Json};
+use midway_core::{BackendKind, Counters};
+use midway_replay::{replay, Trace};
+use midway_stats::fmt_f64;
+use midway_stats::TextTable;
+
+/// Checkpoint intervals swept by default, in sync boundaries per image.
+const INTERVALS: [u32; 3] = [1, 4, 16];
+
+fn main() {
+    let mut args = BenchArgs::parse();
+    let smoke = args.flag("--smoke");
+    if smoke {
+        args.scale = midway_apps::Scale::Small;
+        args.procs = 4;
+    }
+    banner("Crash sweep: checkpointed recovery cost per backend", &args);
+
+    let app = match args.value("--app") {
+        Some(name) => AppKind::all()
+            .into_iter()
+            .find(|k| k.label() == name)
+            .unwrap_or_else(|| panic!("unknown app {name:?}")),
+        None => AppKind::Sor,
+    };
+    let crash_counts: Vec<usize> = match args.value("--crashes") {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().expect("--crashes takes numbers"))
+            .collect(),
+        None if smoke => vec![1],
+        None => vec![1, 3],
+    };
+    let intervals: Vec<u32> = match args.value("--intervals") {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().expect("--intervals takes numbers"))
+            .collect(),
+        None if smoke => vec![2],
+        None => INTERVALS.to_vec(),
+    };
+    let backends = if smoke {
+        vec![BackendKind::Rt]
+    } else {
+        BackendKind::DATA.to_vec()
+    };
+
+    let trace = cached_trace(&args, app, BackendKind::Rt);
+    let plans: Vec<(usize, midway_core::FaultPlan)> = crash_counts
+        .iter()
+        .map(|&n| (n, crash_plan(&trace, n)))
+        .collect();
+    println!(
+        "app: {}, crash counts: {crash_counts:?}, checkpoint intervals: {intervals:?} boundaries\n",
+        app.label(),
+    );
+
+    let mut t = TextTable::new(&[
+        "backend",
+        "interval",
+        "crashes",
+        "mode",
+        "finish (ms)",
+        "slowdown",
+        "ckpt KB",
+        "wal KB",
+        "replay KB",
+        "recovery ms",
+    ]);
+    let mut cells_json = Vec::new();
+    let sweeps = run_cells(args.jobs, backends, |backend| {
+        // The unprotected baseline: no checkpointing, no crashes.
+        let mut base_cfg = trace.recorded_cfg();
+        base_cfg.backend = backend;
+        let base = replay(&trace, base_cfg).expect("unprotected baseline replay");
+        let base_ms = base_cfg.cost.cycles_to_millis(base.finish_time.cycles());
+
+        let mut rows = Vec::new();
+        let mut cells = Vec::new();
+        for &interval in &intervals {
+            // One premium row (checkpointing alone), then one claim row
+            // per swept crash count.
+            for sel in std::iter::once(None).chain(plans.iter().map(Some)) {
+                let mut cfg = base_cfg.checkpoint_every(interval);
+                if let Some((_, plan)) = sel {
+                    cfg = cfg.faults(*plan);
+                }
+                let run = replay(&trace, cfg).unwrap_or_else(|e| {
+                    panic!(
+                        "{} interval {interval} (crashes: {:?}) failed: {e}",
+                        backend.label(),
+                        sel.map(|(n, _)| *n)
+                    )
+                });
+                let converged = run.store_digests == base.store_digests;
+                if sel.is_some() && app.lock_order_independent() {
+                    assert!(
+                        converged,
+                        "{}: crashed run must converge to the unprotected final memory",
+                        backend.label()
+                    );
+                }
+                let total = run.counters.iter().fold(Counters::default(), |mut t, c| {
+                    t.add(c);
+                    t
+                });
+                if let Some((_, plan)) = sel {
+                    assert_eq!(
+                        total.crashes,
+                        plan.crashes().len() as u64,
+                        "{}: every scheduled crash must be taken",
+                        backend.label()
+                    );
+                }
+                let ms = cfg.cost.cycles_to_millis(run.finish_time.cycles());
+                let recovery_ms = cfg.cost.cycles_to_millis(total.recovery_cycles);
+                rows.push([
+                    backend.label().to_string(),
+                    interval.to_string(),
+                    sel.map_or("-".to_string(), |(n, _)| n.to_string()),
+                    if sel.is_some() { "crash" } else { "ckpt" }.to_string(),
+                    fmt_f64(ms, 1),
+                    format!("{:.2}x", ms / base_ms.max(1e-12)),
+                    (total.checkpoint_bytes / 1024).to_string(),
+                    (total.wal_bytes_logged / 1024).to_string(),
+                    (total.recovery_replay_bytes / 1024).to_string(),
+                    fmt_f64(recovery_ms, 2),
+                ]);
+                cells.push(Json::obj([
+                    ("backend", Json::str(backend.cli_name())),
+                    ("interval", Json::U64(u64::from(interval))),
+                    ("crashed", Json::Bool(sel.is_some())),
+                    (
+                        "crashes_scheduled",
+                        Json::U64(sel.map_or(0, |(n, _)| *n as u64)),
+                    ),
+                    ("finish_ms", Json::F64(ms)),
+                    ("baseline_ms", Json::F64(base_ms)),
+                    ("slowdown", Json::F64(ms / base_ms.max(1e-12))),
+                    ("crashes", Json::U64(total.crashes)),
+                    ("downtime_cycles", Json::U64(total.downtime_cycles)),
+                    ("checkpoints_written", Json::U64(total.checkpoints_written)),
+                    ("checkpoint_bytes", Json::U64(total.checkpoint_bytes)),
+                    ("wal_bytes_logged", Json::U64(total.wal_bytes_logged)),
+                    (
+                        "recovery_replay_bytes",
+                        Json::U64(total.recovery_replay_bytes),
+                    ),
+                    ("recovery_cycles", Json::U64(total.recovery_cycles)),
+                    ("fenced_messages", Json::U64(total.fenced_messages)),
+                    ("converged", Json::Bool(converged)),
+                ]));
+            }
+        }
+        (rows, cells)
+    });
+    for (rows, cells) in sweeps {
+        for row in &rows {
+            t.row(row);
+        }
+        cells_json.extend(cells);
+    }
+    println!("{t}");
+    println!("\nSlowdown is against the same backend with no checkpointing and no");
+    println!("crash. 'ckpt' rows price the insurance premium (boundary images +");
+    println!("write-ahead logging); 'crash' rows add the claim (downtime plus");
+    println!("reconstruction, the 'recovery ms' column).");
+
+    let mut pairs = args.meta_json("crash_sweep");
+    pairs.push(("app".to_string(), Json::str(app.label())));
+    pairs.push((
+        "crash_counts".to_string(),
+        Json::arr(crash_counts.iter().map(|&n| Json::U64(n as u64))),
+    ));
+    pairs.push((
+        "crash_plans".to_string(),
+        Json::arr(plans.iter().map(|(_, plan)| {
+            Json::arr(plan.crashes().iter().map(|c| {
+                Json::obj([
+                    ("proc", Json::U64(u64::from(c.proc))),
+                    ("at", Json::U64(c.at)),
+                    ("down", Json::U64(c.down)),
+                ])
+            }))
+        })),
+    ));
+    pairs.push(("cells".to_string(), Json::Arr(cells_json)));
+    args.emit("crash_sweep", &Json::Obj(pairs));
+}
+
+/// `n` staggered crashes sized relative to the recorded run, so they
+/// land mid-computation at any scale: processor `p` fails at
+/// `(1/3 + p/10) × finish` and stays down for 5% of the run.
+fn crash_plan(trace: &Trace, n: usize) -> midway_core::FaultPlan {
+    assert!(n >= 1, "--crashes needs at least one crash");
+    let len = trace.meta.finish_cycles;
+    let procs = trace.meta.cfg.procs;
+    let mut plan = midway_core::FaultPlan::none();
+    for i in 0..n {
+        let proc = (i + 1) % procs;
+        plan = plan.with_crash(proc, len / 3 + (i as u64) * (len / 10), len / 20);
+    }
+    plan
+}

@@ -1,0 +1,169 @@
+//! Renders the scale sweep's committed results (`BENCH_scale.json`)
+//! into the speedup-vs-processors markdown table EXPERIMENTS.md carries.
+//!
+//! The sweep itself runs for hours; this report re-derives the
+//! presentation from the recorded JSON in milliseconds, so the document
+//! can never drift from the data. For each application × backend the
+//! table lists simulated seconds by processor count and the relative
+//! speedup against that pair's smallest swept count (virtual time is the
+//! paper-comparable metric; host seconds depend on the machine the
+//! sweep ran on).
+//!
+//! Usage:
+//!
+//! ```text
+//! scale_report [--in BENCH_scale.json] [--write EXPERIMENTS.md]
+//! ```
+//!
+//! Without `--write` the markdown table prints to stdout; with it, the
+//! block between the `<!-- scale_report:begin -->` and
+//! `<!-- scale_report:end -->` markers in the target file is replaced
+//! in place (the file must already carry the markers).
+
+use std::process::ExitCode;
+
+use midway_bench::Json;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| args[i + 1..].first().expect("flag needs a value").clone())
+    };
+    let input = value("--in").unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let target = value("--write");
+
+    let text = match std::fs::read_to_string(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot parse {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let table = match render(&json) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot report on {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match target {
+        None => {
+            print!("{table}");
+            ExitCode::SUCCESS
+        }
+        Some(path) => match splice(&path, &table) {
+            Ok(()) => {
+                println!("scale table refreshed in {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+/// One parsed sweep cell.
+struct Cell {
+    app: String,
+    backend: String,
+    procs: u64,
+    sim_secs: f64,
+    host_secs: f64,
+    events_per_sec: f64,
+    peak_rss_mb: u64,
+    verified: bool,
+}
+
+/// Builds the markdown table from the sweep JSON.
+fn render(json: &Json) -> Result<String, String> {
+    let harness = json.get("harness").and_then(Json::as_str).unwrap_or("?");
+    if harness != "scale_sweep" {
+        return Err(format!("expected a scale_sweep result, got {harness:?}"));
+    }
+    let mut cells = Vec::new();
+    for c in json.get("cells").map(Json::items).unwrap_or_default() {
+        if c.get("skipped").and_then(Json::as_bool).unwrap_or(false) {
+            continue;
+        }
+        let field = |k: &str| c.get(k).ok_or_else(|| format!("cell lacks {k:?}"));
+        cells.push(Cell {
+            app: field("app")?.as_str().unwrap_or("?").to_string(),
+            backend: field("backend")?.as_str().unwrap_or("?").to_string(),
+            procs: field("procs")?.as_u64().unwrap_or(0),
+            sim_secs: field("sim_secs")?.as_f64().unwrap_or(f64::NAN),
+            host_secs: field("host_secs")?.as_f64().unwrap_or(f64::NAN),
+            events_per_sec: field("events_per_sec")?.as_f64().unwrap_or(f64::NAN),
+            peak_rss_mb: field("peak_rss_mb")?.as_u64().unwrap_or(0),
+            verified: field("verified")?.as_bool().unwrap_or(false),
+        });
+    }
+    if cells.is_empty() {
+        return Err("no completed cells in the sweep".to_string());
+    }
+    cells.sort_by(|a, b| (&a.app, &a.backend, a.procs).cmp(&(&b.app, &b.backend, b.procs)));
+
+    let mut out = String::new();
+    out.push_str(
+        "| app | backend | procs | sim s | vs fewest | host s | events/s | peak MB | verified |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|\n");
+    let mut base: Option<(String, String, f64)> = None;
+    for c in &cells {
+        let key = (c.app.clone(), c.backend.clone());
+        let base_secs = match &base {
+            Some((a, b, secs)) if (a, b) == (&key.0, &key.1) => *secs,
+            _ => {
+                base = Some((key.0.clone(), key.1.clone(), c.sim_secs));
+                c.sim_secs
+            }
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.1} | {:.2}× | {:.1} | {:.0} | {} | {} |\n",
+            c.app,
+            c.backend,
+            c.procs,
+            c.sim_secs,
+            base_secs / c.sim_secs.max(1e-12),
+            c.host_secs,
+            c.events_per_sec,
+            c.peak_rss_mb,
+            if c.verified { "yes" } else { "**NO**" },
+        ));
+    }
+    Ok(out)
+}
+
+const BEGIN: &str = "<!-- scale_report:begin -->";
+const END: &str = "<!-- scale_report:end -->";
+
+/// Replaces the marked block in `path` with `table`.
+fn splice(path: &str, table: &str) -> Result<(), String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let start = doc
+        .find(BEGIN)
+        .ok_or_else(|| format!("{path} lacks the {BEGIN} marker"))?;
+    let end = doc
+        .find(END)
+        .ok_or_else(|| format!("{path} lacks the {END} marker"))?;
+    if end < start {
+        return Err(format!("{path}: end marker precedes begin marker"));
+    }
+    let mut next = String::with_capacity(doc.len());
+    next.push_str(&doc[..start + BEGIN.len()]);
+    next.push('\n');
+    next.push_str(table);
+    next.push_str(&doc[end..]);
+    std::fs::write(path, next).map_err(|e| format!("cannot write {path}: {e}"))
+}

@@ -113,6 +113,7 @@ impl<T: Transport<Msg = NetMsg>> Proc<'_, T> {
         self.check_with(|log, at| log.write(at, addr.raw(), S::SIZE as u32));
         self.node.trap_write(self.h, addr, S::SIZE);
         S::store_to(&mut self.node.store, addr, v);
+        self.node.wal_write(self.h, addr, S::SIZE);
         self.record_write(addr, S::SIZE);
     }
 
@@ -137,6 +138,7 @@ impl<T: Transport<Msg = NetMsg>> Proc<'_, T> {
         for (k, v) in values.iter().enumerate() {
             S::store_to(&mut self.node.store, a.addr(start + k), *v);
         }
+        self.node.wal_write(self.h, addr, len);
         self.record_write(addr, len);
     }
 
@@ -147,6 +149,7 @@ impl<T: Transport<Msg = NetMsg>> Proc<'_, T> {
         self.check_with(|log, at| log.write(at, addr.raw(), data.len() as u32));
         self.node.trap_write(self.h, addr, data.len());
         self.node.store.write_bytes(addr, data);
+        self.node.wal_write(self.h, addr, data.len());
         self.record_write(addr, data.len());
     }
 
@@ -206,7 +209,7 @@ impl<T: Transport<Msg = NetMsg>> Proc<'_, T> {
             lock: lock.0,
             ranges: ranges.clone(),
         });
-        self.node.rebind(lock, ranges);
+        self.node.rebind(self.h, lock, ranges);
     }
 
     /// Crosses `barrier`, making its bound data consistent everywhere.

@@ -163,6 +163,15 @@ pub struct MidwayConfig {
     /// Barrier coordination shape. The default flat shape reproduces the
     /// historical single-manager protocol bit-for-bit.
     pub barrier: BarrierShape,
+    /// Crash-tolerance checkpoint interval, in synchronization boundaries
+    /// (releases + barriers) per processor: every `checkpoint_every`-th
+    /// boundary writes a stable-storage checkpoint image, and every store
+    /// mutation between checkpoints is logged to a write-ahead log. Zero
+    /// (the default) disables the machinery entirely — unless the fault
+    /// plan schedules crashes, in which case the interval defaults to 8
+    /// (see [`MidwayConfig::effective_checkpoint_every`]): a crashed
+    /// processor must always have something to recover from.
+    pub checkpoint_every: u32,
 }
 
 impl MidwayConfig {
@@ -180,6 +189,7 @@ impl MidwayConfig {
             check: false,
             home_map: HomeMap::Modulo,
             barrier: BarrierShape::Flat,
+            checkpoint_every: 0,
         }
     }
 
@@ -247,6 +257,35 @@ impl MidwayConfig {
     pub fn scale_out(self, arity: u32, shard_seed: u64) -> MidwayConfig {
         self.home_map(HomeMap::Sharded { seed: shard_seed })
             .tree_barriers(arity)
+    }
+
+    /// Replaces the crash-tolerance checkpoint interval (0 disables the
+    /// checkpoint/log machinery when no crashes are scheduled).
+    pub fn checkpoint_every(mut self, boundaries: u32) -> MidwayConfig {
+        self.checkpoint_every = boundaries;
+        self
+    }
+
+    /// Schedules a crash of processor `proc` at cycle `at`, restarting
+    /// `down` cycles later (a [`FaultPlan::with_crash`] convenience; also
+    /// enables the reliable channel).
+    pub fn crash(mut self, proc: usize, at: u64, down: u64) -> MidwayConfig {
+        self.faults = self.faults.with_crash(proc, at, down);
+        self
+    }
+
+    /// The operative checkpoint interval: `None` when the crash-tolerance
+    /// machinery is off (no interval configured and no crash scheduled),
+    /// otherwise the configured interval, defaulting to 8 boundaries when
+    /// crashes are scheduled without an explicit interval.
+    pub fn effective_checkpoint_every(&self) -> Option<u32> {
+        if self.checkpoint_every > 0 {
+            Some(self.checkpoint_every)
+        } else if self.faults.has_crashes() {
+            Some(8)
+        } else {
+            None
+        }
     }
 }
 

@@ -43,6 +43,26 @@ pub struct Counters {
     pub full_data_sends: u64,
     /// Barrier episodes completed.
     pub barrier_waits: u64,
+
+    // --- crash tolerance ---
+    /// Crashes this processor suffered (and recovered from).
+    pub crashes: u64,
+    /// Cycles spent dark across all crashes (restart downtime).
+    pub downtime_cycles: u64,
+    /// Messages and timers discarded because they were in flight to this
+    /// processor while it was down (its NIC was dark).
+    pub fenced_messages: u64,
+    /// Checkpoint images written to stable storage.
+    pub checkpoints_written: u64,
+    /// Total bytes of checkpoint images written.
+    pub checkpoint_bytes: u64,
+    /// Bytes appended to the stable-storage write-ahead log.
+    pub wal_bytes_logged: u64,
+    /// Bytes read back (checkpoint image + log) during recoveries.
+    pub recovery_replay_bytes: u64,
+    /// Cycles charged for recovery work itself (decode + log replay),
+    /// excluding the downtime.
+    pub recovery_cycles: u64,
 }
 
 impl Counters {
@@ -64,6 +84,32 @@ impl Counters {
         self.lock_transfers_served += other.lock_transfers_served;
         self.full_data_sends += other.full_data_sends;
         self.barrier_waits += other.barrier_waits;
+        self.crashes += other.crashes;
+        self.downtime_cycles += other.downtime_cycles;
+        self.fenced_messages += other.fenced_messages;
+        self.checkpoints_written += other.checkpoints_written;
+        self.checkpoint_bytes += other.checkpoint_bytes;
+        self.wal_bytes_logged += other.wal_bytes_logged;
+        self.recovery_replay_bytes += other.recovery_replay_bytes;
+        self.recovery_cycles += other.recovery_cycles;
+    }
+
+    /// A copy with every crash-tolerance counter zeroed: what the
+    /// processor did at the *application and protocol* level, comparable
+    /// across runs that differ only in crash schedule or checkpoint
+    /// interval.
+    pub fn sans_recovery(&self) -> Counters {
+        Counters {
+            crashes: 0,
+            downtime_cycles: 0,
+            fenced_messages: 0,
+            checkpoints_written: 0,
+            checkpoint_bytes: 0,
+            wal_bytes_logged: 0,
+            recovery_replay_bytes: 0,
+            recovery_cycles: 0,
+            ..*self
+        }
     }
 
     /// The per-processor average of a set of counters, as the paper's
@@ -147,6 +193,31 @@ mod tests {
         let avg = Counters::average(&[a, b]);
         assert_eq!(avg.avg(|c| c.dirtybits_set), 20.0);
         assert_eq!(avg.totals().dirtybits_set, 40);
+    }
+
+    #[test]
+    fn sans_recovery_zeroes_only_crash_fields() {
+        let c = Counters {
+            lock_acquires: 9,
+            crashes: 2,
+            downtime_cycles: 1000,
+            fenced_messages: 3,
+            checkpoints_written: 4,
+            checkpoint_bytes: 5000,
+            wal_bytes_logged: 600,
+            recovery_replay_bytes: 700,
+            recovery_cycles: 800,
+            ..Counters::default()
+        };
+        let s = c.sans_recovery();
+        assert_eq!(s.lock_acquires, 9);
+        assert_eq!(
+            s,
+            Counters {
+                lock_acquires: 9,
+                ..Counters::default()
+            }
+        );
     }
 
     #[test]

@@ -190,6 +190,11 @@ pub enum NetMsg {
         /// Cumulative ack: the sender has delivered everything up to this
         /// sequence number of the reverse direction.
         ack: u64,
+        /// The sender's incarnation epoch (0 until its first crash; bumped
+        /// at every recovery). Carried on the wire only when nonzero, so a
+        /// never-crashed run's frames are byte-identical to the epoch-less
+        /// format.
+        epoch: u32,
         /// The protocol message.
         msg: DsmMsg,
     },
@@ -198,6 +203,8 @@ pub enum NetMsg {
     Ack {
         /// Everything up to this sequence number has been delivered.
         ack: u64,
+        /// The sender's incarnation epoch (see [`NetMsg::Data::epoch`]).
+        epoch: u32,
     },
     /// Self-posted timer used by `Proc::idle` backoff waits.
     Tick,
@@ -206,6 +213,13 @@ pub enum NetMsg {
         /// The peer whose send channel should be checked.
         peer: usize,
     },
+    /// Self-posted crash notice from the fault plan's schedule: the
+    /// processor fails on delivery and restarts `down` cycles later.
+    /// Never travels between processors.
+    Crash {
+        /// Downtime before the restart, in cycles.
+        down: u64,
+    },
 }
 
 /// Wire size of an explicit ack frame.
@@ -213,12 +227,17 @@ pub(crate) const ACK_FRAME_BYTES: u64 = MSG_HEADER_BYTES + 8;
 
 impl NetMsg {
     /// The message's bytes on the wire. Timers never reach the network.
+    /// An epoch field is charged (4 bytes) only once nonzero: frames sent
+    /// before any crash are byte-identical to the epoch-less format.
     pub fn wire_size(&self) -> u64 {
+        let epoch_bytes = |e: u32| if e > 0 { 4 } else { 0 };
         match self {
             NetMsg::Raw(m) => m.wire_size(),
-            NetMsg::Data { msg, .. } => msg.wire_size() + RELIABLE_HEADER_BYTES,
-            NetMsg::Ack { .. } => ACK_FRAME_BYTES,
-            NetMsg::Tick | NetMsg::RetxCheck { .. } => 0,
+            NetMsg::Data { msg, epoch, .. } => {
+                msg.wire_size() + RELIABLE_HEADER_BYTES + epoch_bytes(*epoch)
+            }
+            NetMsg::Ack { epoch, .. } => ACK_FRAME_BYTES + epoch_bytes(*epoch),
+            NetMsg::Tick | NetMsg::RetxCheck { .. } | NetMsg::Crash { .. } => 0,
         }
     }
 }

@@ -29,10 +29,12 @@ use crate::msg::{DsmMsg, NetMsg};
 use crate::setup::SystemSpec;
 
 use self::link::LinkLayer;
+use self::recover::{RecoveryLog, SyncSnapshot};
 
 mod barriers;
 mod link;
 mod locks;
+mod recover;
 mod transfer;
 
 /// Per-lock protocol state (backend state lives in the detector).
@@ -77,6 +79,14 @@ pub(crate) struct DsmNode {
     tick_pending: bool,
     pub(crate) link: LinkLayer,
     pub(crate) counters: Counters,
+    /// Crash fence: messages and timers *delivered* before this cycle were
+    /// in flight while the processor was dark and are dropped (0 = never
+    /// crashed). Reliable-channel retransmission repairs the losses.
+    fence_before: u64,
+    /// Stable-storage recovery log (checkpoints + write-ahead log);
+    /// `None` when checkpointing is off, which keeps every hot path and
+    /// charge bit-identical to the pre-crash-tolerance runtime.
+    recovery: Option<Box<RecoveryLog>>,
     /// The dynamic checker's event log, present when
     /// [`MidwayConfig::check`] is on. Strictly off-clock: appended to
     /// outside the virtual-time accounting, never consulted by the
@@ -111,7 +121,7 @@ impl DsmNode {
     pub fn new(me: usize, cfg: MidwayConfig, spec: Arc<SystemSpec>) -> DsmNode {
         let procs = cfg.procs;
         let detect = cfg.backend.new_detector(&cfg, &spec);
-        let locks = spec
+        let locks: Vec<LockNode> = spec
             .locks
             .iter()
             .map(|b| LockNode {
@@ -125,7 +135,7 @@ impl DsmNode {
                 (home == me).then(|| HomeLock::new(home))
             })
             .collect();
-        let barriers = spec
+        let barriers: Vec<BarrierNode> = spec
             .barriers
             .iter()
             .map(|(b, parts)| BarrierNode {
@@ -150,6 +160,12 @@ impl DsmNode {
                 }
             })
             .collect();
+        let recovery = cfg.effective_checkpoint_every().map(|k| {
+            Box::new(RecoveryLog::new(
+                k,
+                SyncSnapshot::capture(&locks, &barriers),
+            ))
+        });
         DsmNode {
             me,
             procs,
@@ -164,8 +180,21 @@ impl DsmNode {
             tick_pending: false,
             link: LinkLayer::new(procs, cfg.faults.enabled, cfg.reliable),
             counters: Counters::default(),
+            fence_before: 0,
+            recovery,
             check: cfg.check.then(CheckLog::new),
             spec,
+        }
+    }
+
+    /// Posts this processor's scheduled crash notices as self-delivered
+    /// timer events. Called once, right after construction: a pending
+    /// crash notice keeps the scheduler's queue non-empty, so the cluster
+    /// cannot quiesce past a scheduled crash and every crash is delivered
+    /// deterministically at its planned cycle.
+    pub fn schedule_crashes<T: Transport<Msg = NetMsg>>(&self, h: &mut T) {
+        for c in self.cfg.faults.crashes_for(self.me) {
+            h.post_self(NetMsg::Crash { down: c.down }, c.at);
         }
     }
 
@@ -200,31 +229,53 @@ impl DsmNode {
         done: impl Fn(&DsmNode) -> bool,
     ) {
         while !done(self) {
-            let (_t, src, msg) = h.recv();
-            self.handle_net(h, src, msg);
+            let (t, src, msg) = h.recv();
+            self.handle_net(h, t.cycles(), src, msg);
         }
     }
 
     /// Serves protocol messages until the whole cluster quiesces.
     pub fn finalize<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T) {
-        while let Some((_t, src, msg)) = h.drain_recv() {
-            self.handle_net(h, src, msg);
+        while let Some((t, src, msg)) = h.drain_recv() {
+            self.handle_net(h, t.cycles(), src, msg);
         }
     }
 
-    /// Dispatches one transport-level message: the link layer peels
+    /// Dispatches one transport-level message delivered at cycle `t`: the
+    /// crash fence drops pre-crash stragglers, then the link layer peels
     /// framing, timers, and acks; protocol messages that survive
     /// sequencing go to [`Self::handle_dsm`] in order.
-    fn handle_net<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, src: usize, msg: NetMsg) {
+    fn handle_net<T: Transport<Msg = NetMsg>>(
+        &mut self,
+        h: &mut T,
+        t: u64,
+        src: usize,
+        msg: NetMsg,
+    ) {
+        if t < self.fence_before {
+            // Delivered while this processor was dark: the NIC was off and
+            // a restart does not replay the wire. Dropped data frames come
+            // back via the sender's retransmit timer; dropped acks via the
+            // duplicate-triggered re-ack path; dropped local timers are
+            // re-armed by recovery.
+            self.counters.fenced_messages += 1;
+            return;
+        }
         match msg {
             NetMsg::Tick => {
                 self.tick_pending = false;
             }
             NetMsg::RetxCheck { peer } => self.link.on_timer(h, peer),
             NetMsg::Raw(m) => self.handle_dsm(h, src, m),
-            NetMsg::Data { seq, ack, msg } => {
+            NetMsg::Data {
+                seq,
+                ack,
+                epoch,
+                msg,
+            } => {
                 let mut deliver = Vec::new();
-                self.link.on_data(h, src, seq, ack, msg, &mut deliver);
+                let header = link::FrameHeader { seq, ack, epoch };
+                self.link.on_data(h, src, header, msg, &mut deliver);
                 for m in deliver {
                     self.handle_dsm(h, src, m);
                 }
@@ -232,8 +283,145 @@ impl DsmNode {
                 // otherwise acknowledge explicitly.
                 self.link.flush_ack(h, src);
             }
-            NetMsg::Ack { ack } => self.link.on_ack(h, src, ack),
+            NetMsg::Ack { ack, epoch } => self.link.on_ack(h, src, ack, epoch),
+            NetMsg::Crash { down } => self.on_crash(h, down),
         }
+    }
+
+    /// The processor fails now and restarts `down` cycles later (the
+    /// fault plan delivered this as a self-posted notice). Fail-stop with
+    /// stable storage: everything in flight to the dark NIC is fenced,
+    /// while the durable state is re-proven by reconstructing the store
+    /// and synchronization state from checkpoint + log and asserting them
+    /// identical to the live node before resuming — detectable recovery,
+    /// never a silent one.
+    fn on_crash<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, down: u64) {
+        let recovered_at = h.now().cycles() + down;
+        self.counters.crashes += 1;
+        self.counters.downtime_cycles += down;
+        h.charge(Category::Wait, down);
+        self.fence_before = recovered_at;
+        // An in-flight idle Tick was fenced with everything else; cut the
+        // wait short rather than blocking on a timer that never arrives.
+        self.tick_pending = false;
+        let epoch = self.link.epoch + 1;
+        self.link.on_recover(h, epoch);
+        self.recover(h);
+        let seq = self.recovery.as_ref().map_or(0, |r| r.seq());
+        h.note_recovery_status(epoch, seq);
+    }
+
+    /// Replays stable storage — the newest valid checkpoint image plus
+    /// the write-ahead log — into a fresh store and sync state, asserts
+    /// both match the live node, and swaps the rebuilt store in.
+    fn recover<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T) {
+        let Some(rec) = self.recovery.as_deref() else {
+            h.protocol_violation(format!(
+                "processor {} crashed with checkpointing disabled: nothing to recover from",
+                self.me
+            ));
+        };
+        let out = match rec.reconstruct(self.store.layout()) {
+            Ok(out) => out,
+            Err(e) => h.protocol_violation(format!("processor {} recovery failed: {e}", self.me)),
+        };
+        self.counters.recovery_replay_bytes += out.replay_bytes;
+        let cycles = self.cfg.cost.copy_cycles(out.replay_bytes as usize, false);
+        self.counters.recovery_cycles += cycles;
+        h.charge(Category::Protocol, cycles);
+        if out.store.digest() != self.store.digest() {
+            h.protocol_violation(format!(
+                "processor {} recovered a divergent store: checkpoint + log replay does not \
+                 reproduce the pre-crash memory",
+                self.me
+            ));
+        }
+        let live = SyncSnapshot::capture(&self.locks, &self.barriers);
+        if out.sync != live {
+            h.protocol_violation(format!(
+                "processor {} recovered divergent synchronization state: lock bindings or \
+                 barrier episodes do not match the pre-crash protocol state",
+                self.me
+            ));
+        }
+        self.store = out.store;
+    }
+
+    /// Appends the post-image of a just-performed store write to the
+    /// write-ahead log. Post-images — read back *after* the write lands —
+    /// make log replay insensitive to updates the detector chose not to
+    /// apply: replaying what memory actually held can never resurrect
+    /// overwritten data.
+    pub(crate) fn wal_write<T: Transport<Msg = NetMsg>>(
+        &mut self,
+        h: &mut T,
+        addr: Addr,
+        len: usize,
+    ) {
+        if self.recovery.is_none() || len == 0 {
+            return;
+        }
+        let mut logged = 0;
+        for piece in midway_mem::split_by_region(addr.raw()..addr.raw() + len as u64) {
+            let plen = (piece.end - piece.start) as usize;
+            let bytes = self.store.bytes(Addr(piece.start), plen);
+            let rec = self.recovery.as_deref_mut().expect("checked above");
+            logged += rec.log_write(piece.start, bytes);
+        }
+        self.charge_wal(h, logged);
+    }
+
+    /// Logs `lock`'s hold state and binding to the write-ahead log
+    /// (called whenever either changes).
+    pub(crate) fn wal_lock<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, idx: usize) {
+        let Some(rec) = self.recovery.as_deref_mut() else {
+            return;
+        };
+        let l = &self.locks[idx];
+        let logged = rec.log_lock(idx, recover::held_code(l.held), l.binding.ranges());
+        self.charge_wal(h, logged);
+    }
+
+    /// Logs `barrier`'s episode progress to the write-ahead log.
+    pub(crate) fn wal_barrier<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, idx: usize) {
+        let Some(rec) = self.recovery.as_deref_mut() else {
+            return;
+        };
+        let b = &self.barriers[idx];
+        let logged = rec.log_barrier(idx, b.episode, b.last_consist);
+        self.charge_wal(h, logged);
+    }
+
+    fn charge_wal<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, logged: u64) {
+        self.counters.wal_bytes_logged += logged;
+        h.charge(
+            Category::Protocol,
+            self.cfg.cost.copy_cycles(logged as usize, false),
+        );
+    }
+
+    /// Counts one synchronization boundary (a release or a completed
+    /// barrier) against the checkpoint interval, writing a checksummed
+    /// image of the store and synchronization state on every K-th.
+    pub(crate) fn checkpoint_boundary<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T) {
+        let Some(mut rec) = self.recovery.take() else {
+            return;
+        };
+        if rec.note_boundary() {
+            let sync = SyncSnapshot::capture(&self.locks, &self.barriers);
+            let img =
+                recover::encode_checkpoint(rec.seq() + 1, self.link.epoch, &self.store, &sync);
+            let bytes = img.len() as u64;
+            rec.install_image(img);
+            self.counters.checkpoints_written += 1;
+            self.counters.checkpoint_bytes += bytes;
+            h.charge(
+                Category::Protocol,
+                self.cfg.cost.copy_cycles(bytes as usize, false),
+            );
+            h.note_recovery_status(self.link.epoch, rec.seq());
+        }
+        self.recovery = Some(rec);
     }
 
     fn handle_dsm<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, src: usize, msg: DsmMsg) {

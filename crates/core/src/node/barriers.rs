@@ -60,6 +60,9 @@ impl DsmNode {
         self.pump_until(h, |n| n.barriers[idx].released);
         self.barriers[idx].released = false;
         self.counters.barrier_waits += 1;
+        // A completed barrier is a synchronization boundary and therefore
+        // a checkpointing point.
+        self.checkpoint_boundary(h);
     }
 
     fn collect_barrier<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, idx: usize) -> UpdateSet {
@@ -230,11 +233,18 @@ impl DsmNode {
             log.apply(h.now().cycles(), set.data_bytes());
         }
         with_detector!(self, h, |det, cx| det.apply_barrier(&mut cx, set));
+        // Post-images of everything the detector just applied, read back
+        // from the store so replay reproduces exactly what memory holds.
+        for i in 0..set.items.len() {
+            let (addr, len) = (set.items[i].addr, set.items[i].data.len());
+            self.wal_write(h, midway_mem::Addr(addr), len);
+        }
         let node = &mut self.barriers[idx];
         node.episode += 1;
         node.released = true;
         self.clock.observe(time);
         node.last_consist = self.clock.now();
+        self.wal_barrier(h, idx);
     }
 }
 

@@ -42,12 +42,10 @@
 //! spuriously — the deadline makes such fires re-arm and wait.
 
 use midway_net::Transport;
-use midway_proto::channel::{
-    Accept, LinkStats, RecvChannel, ReliableParams, SendChannel, RELIABLE_HEADER_BYTES,
-};
+use midway_proto::channel::{Accept, LinkStats, RecvChannel, ReliableParams, SendChannel};
 use midway_sim::Category;
 
-use crate::msg::{DsmMsg, NetMsg, ACK_FRAME_BYTES};
+use crate::msg::{DsmMsg, NetMsg};
 
 /// Reliable-channel state for one peer, allocated on first contact.
 struct PeerLink {
@@ -74,6 +72,9 @@ struct PeerLink {
     /// ahead of the deadline — e.g. a timer armed for an older,
     /// since-acked frame — re-arm without retransmitting.
     retx_deadline: u64,
+    /// Highest incarnation epoch seen in frames from this peer. A frame
+    /// carrying an older epoch is a pre-crash straggler and is fenced.
+    peer_epoch: u32,
 }
 
 impl PeerLink {
@@ -86,6 +87,7 @@ impl PeerLink {
             force_ack_ok_at: 0,
             timer_armed: false,
             retx_deadline: 0,
+            peer_epoch: 0,
         }
     }
 }
@@ -97,7 +99,20 @@ pub(crate) struct LinkLayer {
     /// Per-peer channels, indexed by processor id; `None` until the first
     /// frame to or from that peer. Stays all-`None` on a trusted network.
     peers: Vec<Option<Box<PeerLink>>>,
+    /// This node's incarnation epoch: 0 until its first crash, bumped at
+    /// every recovery. Stamped on every outgoing frame (and charged on the
+    /// wire) only once nonzero, so never-crashed traffic is byte-identical
+    /// to the epoch-less format.
+    pub(crate) epoch: u32,
     pub(crate) stats: LinkStats,
+}
+
+/// Sequencing header of an incoming data frame: the per-pair sequence
+/// number, the piggybacked cumulative ack, and the sender's epoch.
+pub struct FrameHeader {
+    pub seq: u64,
+    pub ack: u64,
+    pub epoch: u32,
 }
 
 impl LinkLayer {
@@ -106,6 +121,7 @@ impl LinkLayer {
             reliable,
             params,
             peers: (0..procs).map(|_| None).collect(),
+            epoch: 0,
             stats: LinkStats::default(),
         }
     }
@@ -134,12 +150,33 @@ impl LinkLayer {
         p.last_acked = ack;
         p.force_ack = false;
         self.stats.data_frames_sent += 1;
-        h.send(
-            dst,
-            NetMsg::Data { seq, ack, msg },
-            bytes + RELIABLE_HEADER_BYTES,
-        );
+        let epoch = self.epoch;
+        let frame = NetMsg::Data {
+            seq,
+            ack,
+            epoch,
+            msg,
+        };
+        let wire = frame.wire_size();
+        h.send(dst, frame, wire);
         self.arm_timer(h, dst, rto);
+    }
+
+    /// Epoch fence: whether a frame from `src` stamped `epoch` is a
+    /// pre-crash straggler (older than the sender's current incarnation)
+    /// and must be discarded. Also tracks peer recoveries: a *newer*
+    /// epoch is how this node learns the peer crashed and came back.
+    fn fence_stale_epoch(&mut self, src: usize, epoch: u32) -> bool {
+        let p = self.peer(src);
+        if epoch < p.peer_epoch {
+            self.stats.stale_epoch_fenced += 1;
+            return true;
+        }
+        if epoch > p.peer_epoch {
+            p.peer_epoch = epoch;
+            self.stats.peer_recoveries_observed += 1;
+        }
+        false
     }
 
     /// Processes an incoming data frame from `src`: applies the
@@ -149,11 +186,14 @@ impl LinkLayer {
         &mut self,
         h: &mut T,
         src: usize,
-        seq: u64,
-        ack: u64,
+        header: FrameHeader,
         msg: DsmMsg,
         deliver: &mut Vec<DsmMsg>,
     ) {
+        let FrameHeader { seq, ack, epoch } = header;
+        if self.fence_stale_epoch(src, epoch) {
+            return;
+        }
         self.apply_ack(h, src, ack);
         let p = self.peer(src);
         match p.rx.on_data(seq, msg, deliver) {
@@ -170,7 +210,16 @@ impl LinkLayer {
     }
 
     /// Applies a cumulative ack from `src` to the send channel.
-    pub fn on_ack<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, src: usize, ack: u64) {
+    pub fn on_ack<T: Transport<Msg = NetMsg>>(
+        &mut self,
+        h: &mut T,
+        src: usize,
+        ack: u64,
+        epoch: u32,
+    ) {
+        if self.fence_stale_epoch(src, epoch) {
+            return;
+        }
         self.apply_ack(h, src, ack);
     }
 
@@ -200,7 +249,12 @@ impl LinkLayer {
             p.last_acked = cum;
             p.force_ack_ok_at = now + rto;
             self.stats.acks_sent += 1;
-            h.send(src, NetMsg::Ack { ack: cum }, ACK_FRAME_BYTES);
+            let frame = NetMsg::Ack {
+                ack: cum,
+                epoch: self.epoch,
+            };
+            let wire = frame.wire_size();
+            h.send(src, frame, wire);
         }
     }
 
@@ -222,7 +276,7 @@ impl LinkLayer {
         }
         if now < p.retx_deadline {
             // Too early — the timer was armed for an older exchange.
-        } else if let Some((seq, msg, bytes)) = p.tx.oldest_unacked() {
+        } else if let Some((seq, msg, _bytes)) = p.tx.oldest_unacked() {
             self.stats.retransmits += 1;
             let p = self.peer(peer);
             let next_rto = p.tx.note_retransmit(&params);
@@ -230,13 +284,37 @@ impl LinkLayer {
             let ack = p.rx.cum_ack();
             p.last_acked = ack;
             p.force_ack = false;
-            h.send(
-                peer,
-                NetMsg::Data { seq, ack, msg },
-                bytes + RELIABLE_HEADER_BYTES,
-            );
+            let frame = NetMsg::Data {
+                seq,
+                ack,
+                epoch: self.epoch,
+                msg,
+            };
+            let wire = frame.wire_size();
+            h.send(peer, frame, wire);
         }
         self.arm_timer(h, peer, params.rto_cycles);
+    }
+
+    /// Post-recovery repair: stamps the new incarnation epoch on all
+    /// future frames and re-arms the retransmit machinery. Every timer
+    /// that was pending when the node went dark has been fenced, so any
+    /// peer with unacked inflight frames needs a fresh timer (and a fresh
+    /// deadline — the downtime must not be counted as timeout backoff).
+    pub fn on_recover<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, epoch: u32) {
+        self.epoch = epoch;
+        let now = h.now().cycles();
+        let rto = self.params.rto_cycles;
+        for peer in 0..self.peers.len() {
+            let Some(p) = self.peers[peer].as_deref_mut() else {
+                continue;
+            };
+            p.timer_armed = false;
+            if p.tx.has_inflight() {
+                p.retx_deadline = now + rto;
+                self.arm_timer(h, peer, rto);
+            }
+        }
     }
 
     fn arm_timer<T: Transport<Msg = NetMsg>>(&mut self, h: &mut T, peer: usize, delay: u64) {

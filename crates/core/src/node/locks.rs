@@ -31,6 +31,9 @@ impl DsmNode {
         }
         self.pump_until(h, |n| n.locks[idx].held.is_some());
         self.counters.lock_acquires += 1;
+        // The grant installed the hold (and possibly a rebound binding):
+        // log the new lock state so a recovery reproduces it.
+        self.wal_lock(h, idx);
     }
 
     /// Releases `lock`. Local and asynchronous, as in Midway: data moves
@@ -56,10 +59,19 @@ impl DsmNode {
             self.link
                 .send(h, home, DsmMsg::ReleaseNotify { lock, mode });
         }
+        self.wal_lock(h, idx);
+        // A release is a synchronization boundary: released update sets
+        // are now observable, so it is a checkpointing point.
+        self.checkpoint_boundary(h);
     }
 
     /// Rebinds `lock` to `ranges`. The caller must hold it exclusively.
-    pub fn rebind(&mut self, lock: LockId, ranges: Vec<midway_mem::AddrRange>) {
+    pub fn rebind<T: Transport<Msg = NetMsg>>(
+        &mut self,
+        h: &mut T,
+        lock: LockId,
+        ranges: Vec<midway_mem::AddrRange>,
+    ) {
         let idx = lock.0 as usize;
         assert_eq!(
             self.locks[idx].held,
@@ -68,5 +80,6 @@ impl DsmNode {
         );
         self.locks[idx].binding.rebind(ranges);
         self.detect.on_rebind(idx);
+        self.wal_lock(h, idx);
     }
 }

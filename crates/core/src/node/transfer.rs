@@ -100,6 +100,9 @@ impl DsmNode {
         if let Some(log) = &mut self.check {
             log.apply(h.now().cycles(), payload.data_bytes());
         }
+        // The detector consumes the payload, so capture the ranges it
+        // covers first; their post-images are logged after application.
+        let logged = self.recovery.is_some().then(|| payload_ranges(&payload));
         if !matches!(payload, GrantPayload::Current) {
             // Temporarily detach the binding so the detector can install
             // the payload's binding without aliasing the node.
@@ -112,6 +115,34 @@ impl DsmNode {
             ));
             self.locks[idx].binding = binding;
         }
+        if let Some(ranges) = logged {
+            for (addr, len) in ranges {
+                self.wal_write(h, midway_mem::Addr(addr), len);
+            }
+        }
         self.locks[idx].held = Some(mode);
     }
+}
+
+/// Every `(addr, len)` range a grant payload may write; post-images over
+/// these after application capture exactly what the grant changed (and
+/// harmlessly re-log current content for updates the detector skipped).
+fn payload_ranges(payload: &GrantPayload) -> Vec<(u64, usize)> {
+    let mut out = Vec::new();
+    let mut push_set = |set: &midway_proto::UpdateSet| {
+        out.extend(set.items.iter().map(|i| (i.addr, i.data.len())));
+    };
+    match payload {
+        GrantPayload::Current => {}
+        GrantPayload::Rt { set, .. } | GrantPayload::Flat { set, .. } => push_set(set),
+        GrantPayload::Vm { updates, full, .. } => {
+            for u in updates {
+                push_set(&u.set);
+            }
+            if let Some(set) = full {
+                push_set(set);
+            }
+        }
+    }
+    out
 }

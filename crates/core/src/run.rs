@@ -110,6 +110,7 @@ where
     F: Fn(&mut Proc<'_, T>) -> R,
 {
     let node = DsmNode::new(h.id(), cfg, Arc::clone(spec));
+    node.schedule_crashes(h);
     let mut proc = Proc {
         node,
         h,
@@ -264,6 +265,11 @@ impl Midway {
         F: Fn(&mut Proc<'_, RealTransport<NetMsg>>) -> R + Send + Sync,
     {
         assert_backend_supported(&cfg);
+        assert!(
+            !cfg.faults.has_crashes(),
+            "crash injection is simulator-only: real transports have no deterministic \
+             clock to schedule failures against (checkpointing itself works everywhere)"
+        );
         let mut cfg = cfg;
         if matches!(real.mode, RealMode::Udp { .. }) && !cfg.faults.enabled {
             cfg.faults = FaultPlan::seeded(0);

@@ -277,20 +277,31 @@ impl Wire for NetMsg {
                 out.push(0);
                 m.encode(out);
             }
-            NetMsg::Data { seq, ack, msg } => {
+            NetMsg::Data {
+                seq,
+                ack,
+                epoch,
+                msg,
+            } => {
                 out.push(1);
                 put_u64(out, *seq);
                 put_u64(out, *ack);
+                put_u32(out, *epoch);
                 msg.encode(out);
             }
-            NetMsg::Ack { ack } => {
+            NetMsg::Ack { ack, epoch } => {
                 out.push(2);
                 put_u64(out, *ack);
+                put_u32(out, *epoch);
             }
             NetMsg::Tick => out.push(3),
             NetMsg::RetxCheck { peer } => {
                 out.push(4);
                 put_u32(out, *peer as u32);
+            }
+            NetMsg::Crash { down } => {
+                out.push(5);
+                put_u64(out, *down);
             }
         }
     }
@@ -301,12 +312,19 @@ impl Wire for NetMsg {
             1 => Ok(NetMsg::Data {
                 seq: r.u64("seq")?,
                 ack: r.u64("ack")?,
+                epoch: r.u32("epoch")?,
                 msg: DsmMsg::decode(r)?,
             }),
-            2 => Ok(NetMsg::Ack { ack: r.u64("ack")? }),
+            2 => Ok(NetMsg::Ack {
+                ack: r.u64("ack")?,
+                epoch: r.u32("epoch")?,
+            }),
             3 => Ok(NetMsg::Tick),
             4 => Ok(NetMsg::RetxCheck {
                 peer: r.u32("peer")? as usize,
+            }),
+            5 => Ok(NetMsg::Crash {
+                down: r.u64("down")?,
             }),
             t => Err(WireError(format!("unknown net tag {t}"))),
         }
@@ -349,7 +367,9 @@ mod tests {
         let msgs = vec![
             NetMsg::Tick,
             NetMsg::RetxCheck { peer: 5 },
-            NetMsg::Ack { ack: 42 },
+            NetMsg::Crash { down: 12_345 },
+            NetMsg::Ack { ack: 42, epoch: 0 },
+            NetMsg::Ack { ack: 43, epoch: 2 },
             NetMsg::Raw(DsmMsg::AcquireReq {
                 lock: LockId(3),
                 mode: Mode::Shared,
@@ -373,6 +393,7 @@ mod tests {
             NetMsg::Data {
                 seq: 17,
                 ack: 16,
+                epoch: 1,
                 msg: DsmMsg::BarrierRelease {
                     barrier: BarrierId(0),
                     set: std::sync::Arc::new(UpdateSet::new()),

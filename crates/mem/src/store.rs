@@ -31,6 +31,14 @@ impl LocalStore {
         &self.layout
     }
 
+    /// The materialized bytes of region `id`, or `None` if the region has
+    /// never been touched (and therefore still reads as zeros). Lets a
+    /// checkpoint writer serialize exactly the regions that carry content
+    /// without materializing the rest.
+    pub fn region_data(&self, id: usize) -> Option<&[u8]> {
+        self.regions.get(id).and_then(|r| r.as_deref())
+    }
+
     /// Immutable bytes at `[addr, addr + len)`.
     ///
     /// # Panics

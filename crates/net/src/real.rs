@@ -67,8 +67,9 @@ pub enum RealMode {
     Udp {
         /// Per-message fault schedule (`FaultPlan::seeded(0)` for a
         /// lossless-but-untrusted link). `Reorder`/`Delay` decisions
-        /// deliver normally: real sockets offer no delay hook.
-        loss: FaultPlan,
+        /// deliver normally: real sockets offer no delay hook. Boxed:
+        /// the plan's crash table would otherwise dwarf `Tcp`.
+        loss: Box<FaultPlan>,
     },
 }
 
@@ -100,7 +101,9 @@ impl RealConfig {
     /// 120 s watchdog.
     pub fn udp(loss: FaultPlan) -> RealConfig {
         RealConfig {
-            mode: RealMode::Udp { loss },
+            mode: RealMode::Udp {
+                loss: Box::new(loss),
+            },
             ..RealConfig::tcp()
         }
     }
@@ -232,7 +235,7 @@ enum Links {
     Udp {
         sock: UdpSocket,
         addrs: Arc<Vec<SocketAddr>>,
-        loss: FaultPlan,
+        loss: Box<FaultPlan>,
         /// Per-destination datagram sequence numbers feeding the loss plan.
         seqs: Vec<u64>,
     },
@@ -542,6 +545,11 @@ impl<M: Wire + Send> Transport for RealTransport<M> {
             },
         )
     }
+
+    fn note_recovery_status(&mut self, epoch: u32, checkpoint_seq: u64) {
+        self.hub.epoch[self.me].store(u64::from(epoch), SeqCst);
+        self.hub.last_ckpt[self.me].store(checkpoint_seq, SeqCst);
+    }
 }
 
 /// Entry point: runs one closure per processor, each on its own OS
@@ -641,7 +649,7 @@ impl RealCluster {
                                 .try_clone()
                                 .expect("cloning a bound socket cannot fail in practice"),
                             addrs: Arc::clone(&addrs),
-                            loss: *loss,
+                            loss: loss.clone(),
                             seqs: vec![0; procs],
                         },
                         (RealMode::Udp { .. }, Sockets::Tcp(_)) => unreachable!(),

@@ -80,6 +80,17 @@ pub trait Transport {
 
     /// Aborts the run with a typed application-misuse error. Never returns.
     fn app_violation(&mut self, message: String) -> !;
+
+    /// Publishes this processor's crash-tolerance status — its
+    /// reliable-channel incarnation epoch and the sequence number of its
+    /// last stable checkpoint — to whatever observability surface the
+    /// transport has. Purely informational: implementations must not let
+    /// it affect delivery or timing. The default does nothing (the
+    /// simulator's reports carry the same facts through counters); the
+    /// real transport surfaces it in watchdog state dumps.
+    fn note_recovery_status(&mut self, epoch: u32, checkpoint_seq: u64) {
+        let _ = (epoch, checkpoint_seq);
+    }
 }
 
 /// Impl #1: the virtual-time simulator's processor handle.

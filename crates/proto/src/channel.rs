@@ -91,6 +91,12 @@ pub struct LinkStats {
     pub dup_frames_dropped: u64,
     /// Incoming frames that arrived ahead of sequence and were buffered.
     pub out_of_order_buffered: u64,
+    /// Incoming frames fenced because they carried an incarnation epoch
+    /// older than the sender's current one (pre-crash stragglers).
+    pub stale_epoch_fenced: u64,
+    /// Peer epoch bumps observed: how many times a peer's frames revealed
+    /// it had crashed and recovered since we last heard from it.
+    pub peer_recoveries_observed: u64,
 }
 
 impl LinkStats {
@@ -102,6 +108,8 @@ impl LinkStats {
         self.timer_fires += other.timer_fires;
         self.dup_frames_dropped += other.dup_frames_dropped;
         self.out_of_order_buffered += other.out_of_order_buffered;
+        self.stale_epoch_fenced += other.stale_epoch_fenced;
+        self.peer_recoveries_observed += other.peer_recoveries_observed;
     }
 
     /// Total extra frames the channel put on the wire beyond first
@@ -396,14 +404,20 @@ mod tests {
             timer_fires: 3,
             dup_frames_dropped: 1,
             out_of_order_buffered: 2,
+            stale_epoch_fenced: 0,
+            peer_recoveries_observed: 0,
         };
         a.add(&LinkStats {
             acks_sent: 1,
             retransmits: 4,
+            stale_epoch_fenced: 2,
+            peer_recoveries_observed: 1,
             ..LinkStats::default()
         });
         assert_eq!(a.acks_sent, 3);
         assert_eq!(a.retransmits, 5);
+        assert_eq!(a.stale_epoch_fenced, 2);
+        assert_eq!(a.peer_recoveries_observed, 1);
         assert_eq!(a.overhead_frames(), 8);
     }
 }

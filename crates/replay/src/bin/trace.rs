@@ -24,7 +24,8 @@ use std::time::Instant;
 use midway_apps::{run_app, AppKind, Scale};
 use midway_core::{report, BackendKind, Counters, FaultPlan, MidwayConfig, MidwayRun};
 use midway_replay::{
-    racecheck_replay, record_app, replay, verify_fault_determinism, verify_fault_replay,
+    racecheck_replay, record_app, replay, verify_crash_determinism, verify_crash_determinism_at,
+    verify_crash_replay, verify_crash_replay_at, verify_fault_determinism, verify_fault_replay,
     verify_replay, Trace,
 };
 use midway_stats::{FaultSweep, TextTable};
@@ -37,6 +38,8 @@ const USAGE: &str = "usage:
                [--loss PPM] [--dup PPM] [--reorder PPM] [--delay PPM] [--fault-seed N]
   trace faultcheck <FILE> [--loss PPM] [--dup PPM] [--reorder PPM] [--delay PPM]
                [--fault-seed N] [--lenient]
+  trace crashcheck <FILE> [--crash-proc N] [--at CYCLES] [--down CYCLES]
+               [--interval BOUNDARIES] [--lenient]
   trace racecheck <FILE>
   trace info   <FILE>
   trace diff   <A> <B>
@@ -48,6 +51,7 @@ fn main() -> ExitCode {
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("faultcheck") => cmd_faultcheck(&args[1..]),
+        Some("crashcheck") => cmd_crashcheck(&args[1..]),
         Some("racecheck") => cmd_racecheck(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
@@ -314,6 +318,106 @@ fn cmd_faultcheck(args: &[String]) -> Result<ExitCode, String> {
     } else {
         println!(
             "convergence:  final memory and counters match the fault-free run \
+             ({:.2}x finish-time slowdown)",
+            check.slowdown()
+        );
+    }
+    println!(
+        "checked in:   {:.2} s host time",
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_crashcheck(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [path] = pos.as_slice() else {
+        return Err("crashcheck takes exactly one trace file".to_string());
+    };
+    let trace = load(path)?;
+    let parse_u64 = |name: &str| -> Result<Option<u64>, String> {
+        value(args, name)?
+            .map(|s| {
+                s.parse::<u64>()
+                    .map_err(|_| format!("{name} takes a cycle count"))
+            })
+            .transpose()
+    };
+    // Defaults scale with the recorded run so the crash always lands
+    // mid-computation: fail at a third of the run, stay down for 5%.
+    let proc = match value(args, "--crash-proc")? {
+        Some(s) => s
+            .parse::<usize>()
+            .map_err(|_| "--crash-proc takes a processor id".to_string())?,
+        None => 1 % trace.meta.cfg.procs,
+    };
+    let at = parse_u64("--at")?.unwrap_or(trace.meta.finish_cycles / 3);
+    let down = parse_u64("--down")?.unwrap_or(trace.meta.finish_cycles / 20);
+    let mut plan = FaultPlan::none().with_crash(proc, at, down);
+    if let Some(base) = fault_plan_from_args(args)? {
+        plan.seed = base.seed;
+        plan.drop_ppm = base.drop_ppm;
+        plan.dup_ppm = base.dup_ppm;
+        plan.reorder_ppm = base.reorder_ppm;
+        plan.delay_ppm = base.delay_ppm;
+    }
+    // The interval applies to the *crashed* replays only — the crash-free
+    // baseline must stay bit-for-bit identical to the recording.
+    let interval: Option<u32> = value(args, "--interval")?
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--interval takes a boundary count".to_string())
+        })
+        .transpose()?;
+
+    println!(
+        "== crash-recovery check: {} ({} on {}) ==",
+        path,
+        trace.meta.app,
+        trace.meta.cfg.backend.label()
+    );
+    let mut crashed_cfg = trace.meta.cfg.faults(plan);
+    if let Some(k) = interval {
+        crashed_cfg.checkpoint_every = k;
+    }
+    println!(
+        "plan:         processor {proc} crashes at cycle {at}, down {down} cycles \
+         (checkpoint every {} boundaries)",
+        crashed_cfg
+            .effective_checkpoint_every()
+            .expect("crash plans imply checkpointing")
+    );
+    let lenient = flag(args, "--lenient");
+    let t0 = Instant::now();
+    let check = match (lenient, interval) {
+        (false, None) => verify_crash_replay(&trace, plan)?,
+        (false, Some(k)) => verify_crash_replay_at(&trace, plan, k)?,
+        (true, None) => verify_crash_determinism(&trace, plan)?,
+        (true, Some(k)) => verify_crash_determinism_at(&trace, plan, k)?,
+    };
+    println!("baseline:     bit-for-bit identical to the recorded run");
+    println!(
+        "crashed:      deterministic across reruns; {} crash(es) taken, {} cycles down, \
+         {} messages fenced",
+        check.crashes, check.downtime_cycles, check.fenced_messages
+    );
+    println!(
+        "recovery:     {} checkpoints ({} KB) + {} KB WAL; replayed {} KB in {} cycles",
+        check.checkpoints_written,
+        check.checkpoint_bytes / 1024,
+        check.wal_bytes_logged / 1024,
+        check.recovery_replay_bytes / 1024,
+        check.recovery_cycles
+    );
+    if lenient {
+        println!(
+            "convergence:  skipped (--lenient: lock-order-dependent workload); \
+             {:.2}x finish-time slowdown",
+            check.slowdown()
+        );
+    } else {
+        println!(
+            "convergence:  final memory and counters match the crash-free run \
              ({:.2}x finish-time slowdown)",
             check.slowdown()
         );

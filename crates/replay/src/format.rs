@@ -16,8 +16,12 @@
 //!         barrier shape (v4+: tag (1 byte), tree adds an arity varint)
 //!         — absent before v4, which decodes as "modulo homes, flat
 //!         barriers",
+//!         crash plan (v5+: count + count × (proc, at, down) varints) and
+//!         checkpoint_every (v5+: 1 varint) — absent before v5, which
+//!         decodes as "no crashes, checkpointing off",
 //!         finish_cycles, messages,
-//!         counters: procs × 16 varints (Table 2 field order)
+//!         counters: procs × 16 varints (Table 2 field order), plus 8
+//!         crash/recovery varints in v5+
 //! blueprint
 //!         allocs: n × (name, addr, len, private (1 byte), line_shift)
 //!         locks: n × ranges           (ranges: n × (start, len))
@@ -43,7 +47,7 @@ use midway_core::{
     ReliableParams, SpecBlueprint, TraceOp,
 };
 use midway_mem::AddrRange;
-use midway_sim::{FaultPlan, NetModel};
+use midway_sim::{CrashEvent, FaultPlan, NetModel, MAX_CRASHES};
 use midway_stats::CostModel;
 
 use crate::{Trace, TraceMeta};
@@ -55,10 +59,13 @@ pub const MAGIC: [u8; 4] = *b"MWTR";
 /// added the fault plan and reliable-channel parameters to the header so
 /// faulty runs replay deterministically; version 4 added the sync-home
 /// placement map and barrier shape so scale-out runs (sharded homes,
-/// combining-tree barriers) replay bit-for-bit. Older files still decode:
-/// v1/v2 as fault-free, and anything before v4 as modulo homes with flat
-/// barriers — exactly the configuration those traces ran under.
-pub const VERSION: u64 = 4;
+/// combining-tree barriers) replay bit-for-bit; version 5 added the
+/// processor-crash plan, the checkpoint interval, and the crash/recovery
+/// counters so crashed-and-recovered runs replay bit-for-bit. Older files
+/// still decode: v1/v2 as fault-free, anything before v4 as modulo homes
+/// with flat barriers, and anything before v5 as crash-free with
+/// checkpointing off — exactly the configuration those traces ran under.
+pub const VERSION: u64 = 5;
 
 /// The oldest format version the decoder accepts.
 pub const MIN_VERSION: u64 = 1;
@@ -226,7 +233,17 @@ impl Writer {
         }
     }
 
-    fn counters(&mut self, c: &Counters) {
+    fn crash_plan(&mut self, f: &FaultPlan) {
+        let crashes = f.crashes();
+        self.varint(crashes.len() as u64);
+        for c in crashes {
+            self.varint(u64::from(c.proc));
+            self.varint(c.at);
+            self.varint(c.down);
+        }
+    }
+
+    fn counters(&mut self, c: &Counters, version: u64) {
         for v in [
             c.dirtybits_set,
             c.dirtybits_misclassified,
@@ -246,6 +263,20 @@ impl Writer {
             c.barrier_waits,
         ] {
             self.varint(v);
+        }
+        if version >= 5 {
+            for v in [
+                c.crashes,
+                c.downtime_cycles,
+                c.fenced_messages,
+                c.checkpoints_written,
+                c.checkpoint_bytes,
+                c.wal_bytes_logged,
+                c.recovery_replay_bytes,
+                c.recovery_cycles,
+            ] {
+                self.varint(v);
+            }
         }
     }
 
@@ -288,11 +319,28 @@ impl Writer {
     }
 }
 
-/// Encodes a trace into the `MWTR` byte format.
+/// Encodes a trace into the `MWTR` byte format at the current version.
 pub fn encode(trace: &Trace) -> Vec<u8> {
+    encode_version(trace, VERSION)
+}
+
+/// Encodes a trace at an *older* format version, omitting every section
+/// that version lacked. This exists so compatibility tests can synthesize
+/// genuine old-version files without keeping binary fixtures in the repo;
+/// the trace must not rely on features the target version cannot express
+/// (the caller is responsible — nothing here checks).
+///
+/// # Panics
+///
+/// Panics if `version` is outside the decoder's accepted range.
+pub fn encode_version(trace: &Trace, version: u64) -> Vec<u8> {
+    assert!(
+        (MIN_VERSION..=VERSION).contains(&version),
+        "cannot encode unknown version {version}"
+    );
     let mut w = Writer { buf: Vec::new() };
     w.raw(&MAGIC);
-    w.varint(VERSION);
+    w.varint(version);
 
     let m = &trace.meta;
     w.string(&m.app);
@@ -303,10 +351,18 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
     w.varint(m.cfg.history_cap as u64);
     w.cost(&m.cfg.cost);
     w.net(&m.cfg.net);
-    w.faults(&m.cfg.faults);
-    w.reliable(&m.cfg.reliable);
-    w.home_map(m.cfg.home_map);
-    w.barrier_shape(m.cfg.barrier);
+    if version >= 3 {
+        w.faults(&m.cfg.faults);
+        w.reliable(&m.cfg.reliable);
+    }
+    if version >= 4 {
+        w.home_map(m.cfg.home_map);
+        w.barrier_shape(m.cfg.barrier);
+    }
+    if version >= 5 {
+        w.crash_plan(&m.cfg.faults);
+        w.varint(u64::from(m.cfg.checkpoint_every));
+    }
     w.varint(m.finish_cycles);
     w.varint(m.messages);
     assert_eq!(
@@ -315,7 +371,7 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
         "one counter set per processor"
     );
     for c in &m.counters {
-        w.counters(c);
+        w.counters(c, version);
     }
 
     let bp = &trace.blueprint;
@@ -517,7 +573,23 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn counters(&mut self) -> Result<Counters, TraceError> {
+    fn crash_plan(&mut self, f: &mut FaultPlan) -> Result<(), TraceError> {
+        let n = self.len(3)?;
+        if n > MAX_CRASHES {
+            return Err(TraceError::Malformed("crash plan exceeds MAX_CRASHES"));
+        }
+        for i in 0..n {
+            f.crashes[i] = CrashEvent {
+                proc: self.u32field()?,
+                at: self.varint()?,
+                down: self.varint()?,
+            };
+        }
+        f.crash_len = n as u8;
+        Ok(())
+    }
+
+    fn counters(&mut self, version: u64) -> Result<Counters, TraceError> {
         let mut c = Counters::default();
         for f in [
             &mut c.dirtybits_set,
@@ -538,6 +610,20 @@ impl<'a> Reader<'a> {
             &mut c.barrier_waits,
         ] {
             *f = self.varint()?;
+        }
+        if version >= 5 {
+            for f in [
+                &mut c.crashes,
+                &mut c.downtime_cycles,
+                &mut c.fenced_messages,
+                &mut c.checkpoints_written,
+                &mut c.checkpoint_bytes,
+                &mut c.wal_bytes_logged,
+                &mut c.recovery_replay_bytes,
+                &mut c.recovery_cycles,
+            ] {
+                *f = self.varint()?;
+            }
         }
         Ok(c)
     }
@@ -613,7 +699,7 @@ pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
     let history_cap = r.varint()? as usize;
     let cost = r.cost()?;
     let net = r.net()?;
-    let (faults, reliable) = if version >= 3 {
+    let (mut faults, reliable) = if version >= 3 {
         (r.faults()?, r.reliable()?)
     } else {
         // v1/v2 traces predate fault injection: perfect network.
@@ -625,10 +711,18 @@ pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
         // Pre-v4 traces ran with the only placement that existed.
         (HomeMap::Modulo, BarrierShape::Flat)
     };
+    let checkpoint_every = if version >= 5 {
+        r.crash_plan(&mut faults)?;
+        r.u32field()?
+    } else {
+        // Pre-v5 traces predate crash fault tolerance: no crashes and no
+        // checkpointing, which is exactly what those runs did.
+        0
+    };
     let finish_cycles = r.varint()?;
     let messages = r.varint()?;
     let counters = (0..procs)
-        .map(|_| r.counters())
+        .map(|_| r.counters(version))
         .collect::<Result<Vec<_>, _>>()?;
     let cfg = MidwayConfig {
         procs,
@@ -641,6 +735,7 @@ pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
         reliable,
         home_map,
         barrier,
+        checkpoint_every,
         // Checking is a per-replay choice, never a property of the file.
         check: false,
     };

@@ -32,7 +32,7 @@ use midway_core::{
 
 mod format;
 
-pub use format::{decode, encode, TraceError, MAGIC, VERSION};
+pub use format::{decode, encode, encode_version, TraceError, MAGIC, MIN_VERSION, VERSION};
 
 /// Everything known about the recorded run, stored in the trace header.
 ///
@@ -388,6 +388,220 @@ fn fault_check(trace: &Trace, plan: FaultPlan, strict: bool) -> Result<FaultChec
         faulty_finish_cycles: a.finish_time.cycles(),
         faulty_messages: a.messages,
         faults_injected,
+        link: a.link_totals(),
+    })
+}
+
+/// What [`verify_crash_replay`] measured while proving that crashed
+/// processors recover to the fault-free final state.
+#[derive(Clone, Debug)]
+pub struct CrashCheck {
+    /// Finish time of the crash-free baseline replay, in cycles.
+    pub base_finish_cycles: u64,
+    /// Finish time of the crashed replay, in cycles.
+    pub crashed_finish_cycles: u64,
+    /// Crashes taken across the cluster.
+    pub crashes: u64,
+    /// Cycles the cluster spent down, summed over crashes.
+    pub downtime_cycles: u64,
+    /// Checkpoint images written across the cluster.
+    pub checkpoints_written: u64,
+    /// Bytes of checkpoint images written across the cluster.
+    pub checkpoint_bytes: u64,
+    /// Bytes appended to write-ahead logs across the cluster.
+    pub wal_bytes_logged: u64,
+    /// Bytes replayed from stable storage during recoveries.
+    pub recovery_replay_bytes: u64,
+    /// Cycles charged for state reconstruction during recoveries.
+    pub recovery_cycles: u64,
+    /// Messages fenced as stale (addressed to a pre-crash incarnation).
+    pub fenced_messages: u64,
+    /// Cluster-wide reliable-channel totals of the crashed replay.
+    pub link: LinkStats,
+}
+
+impl CrashCheck {
+    /// Finish-time slowdown of the crashed replay over the baseline.
+    pub fn slowdown(&self) -> f64 {
+        self.crashed_finish_cycles as f64 / self.base_finish_cycles.max(1) as f64
+    }
+}
+
+/// The crash-fault-tolerance oracle. Proves, for one trace and one crash
+/// plan, that checkpointed recovery fully masks processor failures:
+///
+/// 1. **Baseline**: replays the trace crash-free and asserts bit-for-bit
+///    equivalence with the recording (the [`verify_replay`] oracle).
+/// 2. **Determinism**: replays under `plan` twice and asserts the two
+///    crashed runs agree exactly — finish time, message count, every
+///    per-processor counter (including the recovery accounting), every
+///    final-memory digest. Same plan, same schedule, same run.
+/// 3. **Convergence**: asserts the crashed replay reaches the same
+///    per-processor final memory content (FNV-1a digests) as the
+///    crash-free baseline, and that every processor still performed the
+///    same application-level work — Table 2 counters match the baseline
+///    after [`Counters::sans_recovery`] zeroes the crash accounting,
+///    which legitimately differs (the baseline never crashed).
+///
+/// Step 3 carries the same lock-order-independence caveat as
+/// [`verify_fault_replay`]: use it for barrier-partitioned or symmetric
+/// workloads (sor, matrix, water), and [`verify_crash_determinism`] for
+/// task-queue workloads where recovery latency legitimately reorders lock
+/// grants.
+///
+/// # Errors
+///
+/// Returns a description of the first violated property.
+///
+/// # Panics
+///
+/// Panics if `plan` schedules no crash — that is [`verify_fault_replay`]'s
+/// job.
+pub fn verify_crash_replay(trace: &Trace, plan: FaultPlan) -> Result<CrashCheck, String> {
+    crash_check(trace, plan, None, true)
+}
+
+/// [`verify_crash_replay`] with an explicit checkpoint interval for the
+/// crashed replays (the baseline keeps the recorded configuration — the
+/// interval is part of what is being priced, not of what was recorded).
+///
+/// # Errors
+///
+/// Returns a description of the first violated property.
+///
+/// # Panics
+///
+/// Panics if `plan` schedules no crash.
+pub fn verify_crash_replay_at(
+    trace: &Trace,
+    plan: FaultPlan,
+    checkpoint_every: u32,
+) -> Result<CrashCheck, String> {
+    crash_check(trace, plan, Some(checkpoint_every), true)
+}
+
+/// The lenient tier of the crash-fault-tolerance oracle: baseline
+/// equivalence and crashed-replay determinism (steps 1–2 of
+/// [`verify_crash_replay`]) without comparing the crashed run's final
+/// state to the baseline — for workloads where lock-grant order, and with
+/// it the last writer of contended words, legitimately shifts while a
+/// processor is down.
+///
+/// # Errors
+///
+/// Returns a description of the first violated property.
+///
+/// # Panics
+///
+/// Panics if `plan` schedules no crash.
+pub fn verify_crash_determinism(trace: &Trace, plan: FaultPlan) -> Result<CrashCheck, String> {
+    crash_check(trace, plan, None, false)
+}
+
+/// [`verify_crash_determinism`] with an explicit checkpoint interval for
+/// the crashed replays.
+///
+/// # Errors
+///
+/// Returns a description of the first violated property.
+///
+/// # Panics
+///
+/// Panics if `plan` schedules no crash.
+pub fn verify_crash_determinism_at(
+    trace: &Trace,
+    plan: FaultPlan,
+    checkpoint_every: u32,
+) -> Result<CrashCheck, String> {
+    crash_check(trace, plan, Some(checkpoint_every), false)
+}
+
+fn crash_check(
+    trace: &Trace,
+    plan: FaultPlan,
+    checkpoint_every: Option<u32>,
+    strict: bool,
+) -> Result<CrashCheck, String> {
+    assert!(
+        plan.has_crashes(),
+        "crash oracle needs a plan with at least one scheduled crash"
+    );
+    let base = verify_replay(trace).map_err(|d| format!("crash-free baseline: {d}"))?;
+
+    let mut cfg = trace.recorded_cfg().faults(plan);
+    if let Some(k) = checkpoint_every {
+        cfg.checkpoint_every = k;
+    }
+    let a = replay(trace, cfg).map_err(|e| format!("crashed replay failed: {e}"))?;
+    let b = replay(trace, cfg).map_err(|e| format!("crashed replay (rerun) failed: {e}"))?;
+    if a.finish_time != b.finish_time || a.messages != b.messages {
+        return Err(format!(
+            "crashed replay is nondeterministic: finish {} vs {} cycles, {} vs {} messages",
+            a.finish_time.cycles(),
+            b.finish_time.cycles(),
+            a.messages,
+            b.messages
+        ));
+    }
+    if a.counters != b.counters {
+        return Err("crashed replay is nondeterministic: counters differ between reruns".into());
+    }
+    if a.store_digests != b.store_digests {
+        return Err(
+            "crashed replay is nondeterministic: memory digests differ between reruns".into(),
+        );
+    }
+
+    let total: Counters = {
+        let mut t = Counters::default();
+        for c in &a.counters {
+            t.add(c);
+        }
+        t
+    };
+    if total.crashes != plan.crashes().len() as u64 {
+        return Err(format!(
+            "crash schedule was not honoured: planned {} crashes, counted {}",
+            plan.crashes().len(),
+            total.crashes
+        ));
+    }
+
+    if strict {
+        for (p, (base_d, got_d)) in base.store_digests.iter().zip(&a.store_digests).enumerate() {
+            if base_d != got_d {
+                return Err(format!(
+                    "crashed replay diverged: processor {p} final memory digest \
+                     {got_d:#018x} != crash-free {base_d:#018x}"
+                ));
+            }
+        }
+        for (p, (base_c, got_c)) in base.counters.iter().zip(&a.counters).enumerate() {
+            // Both sides normalized: the baseline may itself checkpoint
+            // (the interval rides in the recorded configuration), and the
+            // crashed run adds recovery accounting on top.
+            let want = base_c.sans_recovery();
+            let got = got_c.sans_recovery();
+            if want != got {
+                return Err(format!(
+                    "crashed replay diverged: processor {p} counters changed under crashes \
+                     (recovery accounting excluded): crash-free {want:?}, crashed {got:?}"
+                ));
+            }
+        }
+    }
+
+    Ok(CrashCheck {
+        base_finish_cycles: base.finish_time.cycles(),
+        crashed_finish_cycles: a.finish_time.cycles(),
+        crashes: total.crashes,
+        downtime_cycles: total.downtime_cycles,
+        checkpoints_written: total.checkpoints_written,
+        checkpoint_bytes: total.checkpoint_bytes,
+        wal_bytes_logged: total.wal_bytes_logged,
+        recovery_replay_bytes: total.recovery_replay_bytes,
+        recovery_cycles: total.recovery_cycles,
+        fenced_messages: total.fenced_messages,
         link: a.link_totals(),
     })
 }

@@ -71,6 +71,14 @@ fn random_counters(rng: &mut SplitMix64) -> Counters {
         lock_transfers_served: rng.next_below(1000),
         full_data_sends: rng.next_below(1000),
         barrier_waits: rng.next_below(1000),
+        crashes: rng.next_below(8),
+        downtime_cycles: rng.next_below(1 << 24),
+        fenced_messages: rng.next_below(1000),
+        checkpoints_written: rng.next_below(1000),
+        checkpoint_bytes: rng.next_below(1 << 24),
+        wal_bytes_logged: rng.next_below(1 << 24),
+        recovery_replay_bytes: rng.next_below(1 << 24),
+        recovery_cycles: rng.next_below(1 << 24),
     }
 }
 
@@ -106,6 +114,17 @@ fn random_trace(rng: &mut SplitMix64) -> Trace {
             backoff_cap: rng.next_below(12) as u32,
             timer_cost_cycles: rng.next_below(1 << 12),
         };
+    }
+    if rng.next_below(2) == 1 {
+        // Version 5 header fields: a crash plan and a checkpoint interval.
+        for _ in 0..rng.next_below(4) {
+            cfg.faults = cfg.faults.with_crash(
+                rng.next_below(procs as u64) as usize,
+                1 + rng.next_below(1 << 24),
+                1 + rng.next_below(1 << 16),
+            );
+        }
+        cfg.checkpoint_every = rng.next_below(32) as u32;
     }
     let allocs = (0..rng.next_below(5))
         .map(|i| AllocSpec {

@@ -70,6 +70,25 @@ impl FaultStats {
     }
 }
 
+/// One scheduled processor crash: processor `proc` fails at virtual cycle
+/// `at` and restarts `down` cycles later. Between `at` and `at + down`
+/// the processor is dark — everything addressed to it in that window is
+/// lost (its NIC is down) and must be repaired by higher layers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The processor that fails.
+    pub proc: u32,
+    /// Virtual cycle of the failure (clamped to ≥ 1 when scheduled).
+    pub at: u64,
+    /// Downtime before the restart, in cycles (clamped to ≥ 1).
+    pub down: u64,
+}
+
+/// Upper bound on scheduled crashes per plan. A fixed-size array keeps
+/// [`FaultPlan`] (and with it `MidwayConfig`) `Copy`; eight crashes per
+/// run is far beyond anything the sweeps schedule.
+pub const MAX_CRASHES: usize = 8;
+
 /// A seeded, deterministic schedule of network faults.
 ///
 /// The plan distinguishes *disabled* ([`FaultPlan::none`], the default:
@@ -78,6 +97,10 @@ impl FaultStats {
 /// injects nothing but signals to higher layers (the DSM's reliable
 /// delivery channel) that the network is untrusted, which is exactly the
 /// configuration used to measure the reliability overhead at 0% loss.
+///
+/// A plan can also schedule processor crashes ([`FaultPlan::with_crash`]):
+/// deterministic kill-and-restart events delivered through the scheduler,
+/// so a crashed run is exactly as replayable as a lossy one.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Whether the network is treated as faulty at all.
@@ -98,6 +121,11 @@ pub struct FaultPlan {
     /// [`FaultDecision::Duplicate`] jitter, in cycles. Sized around the
     /// wire latency so a jittered message lands after its successors.
     pub reorder_window_cycles: u64,
+    /// Scheduled processor crashes; only the first `crash_len` entries
+    /// are meaningful.
+    pub crashes: [CrashEvent; MAX_CRASHES],
+    /// Number of valid entries in `crashes`.
+    pub crash_len: u8,
 }
 
 impl FaultPlan {
@@ -112,6 +140,8 @@ impl FaultPlan {
             delay_ppm: 0,
             max_delay_cycles: 0,
             reorder_window_cycles: 0,
+            crashes: [CrashEvent::default(); MAX_CRASHES],
+            crash_len: 0,
         }
     }
 
@@ -128,6 +158,8 @@ impl FaultPlan {
             delay_ppm: 0,
             max_delay_cycles: 100_000,
             reorder_window_cycles: 5_000,
+            crashes: [CrashEvent::default(); MAX_CRASHES],
+            crash_len: 0,
         }
     }
 
@@ -177,6 +209,59 @@ impl FaultPlan {
     /// Whether any fault can actually occur.
     pub fn any_rates(&self) -> bool {
         self.enabled && (self.drop_ppm | self.dup_ppm | self.reorder_ppm | self.delay_ppm) != 0
+    }
+
+    /// Schedules a crash of processor `proc` at cycle `at`, restarting
+    /// `down` cycles later. Enables the plan: a crash severs in-flight
+    /// traffic, so the run needs the reliable channel to repair it.
+    ///
+    /// `at` and `down` are clamped to ≥ 1 (a crash at cycle 0 would race
+    /// node construction, and a zero downtime is not a crash).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_CRASHES`] crashes are scheduled.
+    pub fn with_crash(mut self, proc: usize, at: u64, down: u64) -> FaultPlan {
+        let i = usize::from(self.crash_len);
+        assert!(i < MAX_CRASHES, "at most {MAX_CRASHES} crashes per plan");
+        self.crashes[i] = CrashEvent {
+            proc: proc as u32,
+            at: at.max(1),
+            down: down.max(1),
+        };
+        self.crash_len += 1;
+        self.enabled = true;
+        self
+    }
+
+    /// The scheduled crashes, in scheduling order.
+    pub fn crashes(&self) -> &[CrashEvent] {
+        &self.crashes[..usize::from(self.crash_len)]
+    }
+
+    /// Whether the plan schedules any crash at all.
+    pub fn has_crashes(&self) -> bool {
+        self.crash_len > 0
+    }
+
+    /// The crashes of one processor, sorted by time and normalized so the
+    /// windows never overlap: each crash fires no earlier than the cycle
+    /// after the previous recovery completes. This is the schedule a node
+    /// actually arms at construction.
+    pub fn crashes_for(&self, proc: usize) -> Vec<CrashEvent> {
+        let mut own: Vec<CrashEvent> = self
+            .crashes()
+            .iter()
+            .copied()
+            .filter(|c| c.proc as usize == proc)
+            .collect();
+        own.sort_by_key(|c| c.at);
+        let mut next_free = 0u64;
+        for c in &mut own {
+            c.at = c.at.max(next_free);
+            next_free = c.at + c.down + 1;
+        }
+        own
     }
 
     /// The fate of the message `src` sends to `dst` with per-source
@@ -315,6 +400,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn crash_plan_enables_and_filters_per_proc() {
+        let p = FaultPlan::none()
+            .with_crash(2, 5_000, 1_000)
+            .with_crash(0, 9_000, 500)
+            .with_crash(2, 20_000, 2_000);
+        assert!(p.enabled, "a crash plan needs the reliable channel");
+        assert!(p.has_crashes());
+        assert_eq!(p.crashes().len(), 3);
+        assert_eq!(
+            p.crashes_for(2),
+            vec![
+                CrashEvent {
+                    proc: 2,
+                    at: 5_000,
+                    down: 1_000
+                },
+                CrashEvent {
+                    proc: 2,
+                    at: 20_000,
+                    down: 2_000
+                },
+            ]
+        );
+        assert_eq!(p.crashes_for(1), vec![]);
+        assert!(!p.any_rates(), "crashes are not message faults");
+    }
+
+    #[test]
+    fn overlapping_crash_windows_are_normalized() {
+        // Second crash scheduled inside the first's downtime: it must be
+        // pushed past the recovery point, never overlap it.
+        let p = FaultPlan::none()
+            .with_crash(1, 1_000, 5_000)
+            .with_crash(1, 2_000, 100);
+        let own = p.crashes_for(1);
+        assert_eq!(own[0].at, 1_000);
+        assert_eq!(own[1].at, 1_000 + 5_000 + 1);
+    }
+
+    #[test]
+    fn crash_times_are_clamped_positive() {
+        let p = FaultPlan::none().with_crash(0, 0, 0);
+        let c = p.crashes_for(0)[0];
+        assert_eq!((c.at, c.down), (1, 1));
     }
 
     #[test]

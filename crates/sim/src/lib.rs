@@ -50,7 +50,7 @@ mod time;
 
 pub use clock::{Category, CpuClock, CATEGORY_COUNT};
 pub use cluster::{Cluster, ClusterConfig, ProcHandle, ProcReport, RunOutcome, SimError};
-pub use fault::{FaultDecision, FaultPlan, FaultStats};
+pub use fault::{CrashEvent, FaultDecision, FaultPlan, FaultStats, MAX_CRASHES};
 pub use net::NetModel;
 pub use rng::SplitMix64;
 pub use time::VirtualTime;

@@ -106,6 +106,29 @@ if compgen -G "results/traces/*.mwt" >/dev/null; then
     done
 fi
 
+echo "==> service workload smoke (sweep + record/replay)"
+# The three service apps (kvstore, socialgraph, taskqueue) at small
+# scale under RT, swept across two client counts; every cell self-
+# verifies inside the harness. Then one recorded kvstore run must
+# replay bit-for-bit like any batch kernel.
+cargo run --release -q -p midway-bench --bin svc_sweep -- \
+    --smoke --out "$smoke/svc.json"
+cargo run --release -q -p midway-replay --bin trace -- \
+    record --app kvstore --scale small --procs 4 --backend rt \
+    --out "$smoke/kvstore-rt.mwt"
+cargo run --release -q -p midway-replay --bin trace -- \
+    replay "$smoke/kvstore-rt.mwt" --check
+
+echo "==> differential fuzz smoke (all six backends + planted mutants)"
+# Fixed-seed schedules run on every applicable backend (single-
+# processor seeds include the standalone build, so all six are in the
+# matrix) and must agree with the schedule's own model: read-back
+# checksums, schedule-determined counters, clean checker, bit-exact
+# reruns. Then each planted-mutant kind must be caught by the checker
+# and shrunk to a minimal reproducer. Failures print the seed and the
+# minimized schedule; the bin exits nonzero.
+cargo run --release -q -p midway-bench --bin fuzz -- --smoke
+
 echo "==> racecheck smoke"
 # Clean apps must report zero findings and every seeded mutant must be
 # detected (the harness exits nonzero otherwise)...

@@ -6,7 +6,7 @@ use midway_core::{
     VirtualTime,
 };
 
-use crate::{cholesky, matmul, quicksort, sor, water};
+use crate::{cholesky, kvstore, matmul, quicksort, socialgraph, sor, taskqueue, water};
 
 /// Which benchmark application to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -21,10 +21,17 @@ pub enum AppKind {
     Sor,
     /// Sparse Cholesky: fine-grained.
     Cholesky,
+    /// Service family: sharded KV store, Zipfian keys, read-mostly.
+    KvStore,
+    /// Service family: social-graph posts/follows/timelines.
+    SocialGraph,
+    /// Service family: high-churn task queue.
+    TaskQueue,
 }
 
 impl AppKind {
-    /// All five applications in the paper's presentation order.
+    /// The paper's five applications in its presentation order (the
+    /// Table 2 set — service apps are listed by [`AppKind::service`]).
     pub fn all() -> [AppKind; 5] {
         [
             AppKind::Water,
@@ -35,7 +42,26 @@ impl AppKind {
         ]
     }
 
-    /// The paper's name for the application.
+    /// The service-scale workload family.
+    pub fn service() -> [AppKind; 3] {
+        [AppKind::KvStore, AppKind::SocialGraph, AppKind::TaskQueue]
+    }
+
+    /// Every application: the paper set followed by the service family.
+    pub fn every() -> [AppKind; 8] {
+        [
+            AppKind::Water,
+            AppKind::Quicksort,
+            AppKind::Matmul,
+            AppKind::Sor,
+            AppKind::Cholesky,
+            AppKind::KvStore,
+            AppKind::SocialGraph,
+            AppKind::TaskQueue,
+        ]
+    }
+
+    /// The application's name (the paper's, for the Table 2 set).
     pub fn label(self) -> &'static str {
         match self {
             AppKind::Water => "water",
@@ -43,6 +69,9 @@ impl AppKind {
             AppKind::Matmul => "matrix",
             AppKind::Sor => "sor",
             AppKind::Cholesky => "cholesky",
+            AppKind::KvStore => "kvstore",
+            AppKind::SocialGraph => "socialgraph",
+            AppKind::TaskQueue => "taskqueue",
         }
     }
 
@@ -59,7 +88,9 @@ impl AppKind {
     /// changes the final bits; `quicksort` places tasks dynamically, so
     /// which processor sorts which span (and thus whose memory holds it)
     /// follows grant order; `cholesky`'s `cmod` interleavings round
-    /// differently for the same reason as water.
+    /// differently for the same reason as water. The service apps are
+    /// lock-arbitrated by design (their *logical* content is audited
+    /// instead), so none qualify.
     pub fn lock_order_independent(self) -> bool {
         matches!(self, AppKind::Sor | AppKind::Matmul)
     }
@@ -239,6 +270,90 @@ fn cholesky_params(scale: Scale) -> cholesky::Params {
     }
 }
 
+fn kvstore_params(scale: Scale) -> kvstore::Params {
+    use crate::service::ServiceParams;
+    match scale {
+        Scale::Paper => kvstore::Params::paper(),
+        Scale::Medium => kvstore::Params {
+            svc: ServiceParams {
+                clients: 4,
+                ops_per_client: 100,
+                ..ServiceParams::paper()
+            },
+            keys: 1024,
+            shards: 16,
+            vwords: 4,
+        },
+        Scale::Small => kvstore::Params::small(),
+        Scale::Datacenter => kvstore::Params {
+            svc: ServiceParams {
+                clients: 16,
+                ops_per_client: 150,
+                ..ServiceParams::paper()
+            },
+            keys: 16_384,
+            shards: 128,
+            vwords: 4,
+        },
+    }
+}
+
+fn socialgraph_params(scale: Scale) -> socialgraph::Params {
+    use crate::service::ServiceParams;
+    match scale {
+        Scale::Paper => socialgraph::Params::paper(),
+        Scale::Medium => socialgraph::Params {
+            svc: ServiceParams {
+                clients: 4,
+                ops_per_client: 100,
+                ..ServiceParams::paper()
+            },
+            nodes: 512,
+            shards: 16,
+            max_degree: 16,
+            payload_words: 3,
+        },
+        Scale::Small => socialgraph::Params::small(),
+        Scale::Datacenter => socialgraph::Params {
+            svc: ServiceParams {
+                clients: 16,
+                ops_per_client: 150,
+                ..ServiceParams::paper()
+            },
+            nodes: 8192,
+            shards: 128,
+            max_degree: 32,
+            payload_words: 3,
+        },
+    }
+}
+
+fn taskqueue_params(scale: Scale) -> taskqueue::Params {
+    use crate::service::ServiceParams;
+    match scale {
+        Scale::Paper => taskqueue::Params::paper(),
+        Scale::Medium => taskqueue::Params {
+            svc: ServiceParams {
+                clients: 4,
+                ops_per_client: 25,
+                ..ServiceParams::paper()
+            },
+            branch: 3,
+            result_words: 2,
+        },
+        Scale::Small => taskqueue::Params::small(),
+        Scale::Datacenter => taskqueue::Params {
+            svc: ServiceParams {
+                clients: 8,
+                ops_per_client: 30,
+                ..ServiceParams::paper()
+            },
+            branch: 4,
+            result_words: 2,
+        },
+    }
+}
+
 /// Runs `kind` at `scale` under `cfg`, with verification.
 ///
 /// # Panics
@@ -270,6 +385,21 @@ pub fn run_app(kind: AppKind, cfg: MidwayConfig, scale: Scale) -> AppOutcome {
         AppKind::Cholesky => {
             let run = cholesky::run(cfg, cholesky_params(scale));
             let ok = cholesky::verified(&run.results);
+            erase(kind, run, ok)
+        }
+        AppKind::KvStore => {
+            let run = kvstore::run(cfg, kvstore_params(scale));
+            let ok = kvstore::verified(&run.results);
+            erase(kind, run, ok)
+        }
+        AppKind::SocialGraph => {
+            let run = socialgraph::run(cfg, socialgraph_params(scale));
+            let ok = socialgraph::verified(&run.results);
+            erase(kind, run, ok)
+        }
+        AppKind::TaskQueue => {
+            let run = taskqueue::run(cfg, taskqueue_params(scale));
+            let ok = taskqueue::verified(&run.results);
             erase(kind, run, ok)
         }
     }
@@ -315,6 +445,21 @@ pub fn run_app_real(
             let ok = cholesky::verified(&run.results);
             erase(kind, run, ok)
         }
+        AppKind::KvStore => {
+            let run = kvstore::run_real(cfg, real, kvstore_params(scale))?;
+            let ok = kvstore::verified(&run.results);
+            erase(kind, run, ok)
+        }
+        AppKind::SocialGraph => {
+            let run = socialgraph::run_real(cfg, real, socialgraph_params(scale))?;
+            let ok = socialgraph::verified(&run.results);
+            erase(kind, run, ok)
+        }
+        AppKind::TaskQueue => {
+            let run = taskqueue::run_real(cfg, real, taskqueue_params(scale))?;
+            let ok = taskqueue::verified(&run.results);
+            erase(kind, run, ok)
+        }
     })
 }
 
@@ -333,8 +478,21 @@ mod tests {
     }
 
     #[test]
+    fn driver_runs_and_verifies_every_service_app() {
+        for kind in AppKind::service() {
+            let out = run_app(kind, MidwayConfig::new(2, BackendKind::Rt), Scale::Small);
+            assert!(out.verified, "{kind:?} failed verification");
+            assert!(out.exec_secs > 0.0);
+        }
+    }
+
+    #[test]
     fn labels_match_the_paper() {
         assert_eq!(AppKind::Water.label(), "water");
         assert_eq!(AppKind::all().len(), 5);
+        assert_eq!(AppKind::every().len(), 8);
+        assert!(AppKind::service()
+            .iter()
+            .all(|k| !k.lock_order_independent()));
     }
 }

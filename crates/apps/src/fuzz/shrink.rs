@@ -1,0 +1,148 @@
+//! Greedy schedule minimization: keep deleting while the failure keeps
+//! failing.
+//!
+//! The shrinker proposes structurally smaller candidates — drop a whole
+//! round, clear one processor's ops in one round, drop a balanced
+//! acquire..release span, drop a single data op — and accepts a
+//! candidate iff it still [`Schedule::validate`]s *and* the caller's
+//! predicate still holds (the divergence still reproduces, the mutant
+//! is still caught). It loops to a fixpoint or until the probe budget
+//! runs out. Greedy deletion is not minimal in general, but failing
+//! schedules here are small (tens of ops), so the fixpoint is close to
+//! minimal in practice and every accepted step strictly shrinks the op
+//! count, so termination is structural.
+
+use super::gen::{FuzzOp, Schedule};
+
+/// Minimizes `s` while `still(candidate)` holds, probing at most
+/// `budget` candidates. Returns the smallest accepted schedule (`s`
+/// itself if nothing shrinks).
+pub fn shrink(s: &Schedule, still: &dyn Fn(&Schedule) -> bool, budget: usize) -> Schedule {
+    let mut best = s.clone();
+    let mut probes = 0usize;
+    let try_candidate = |best: &mut Schedule, cand: Schedule, probes: &mut usize| -> bool {
+        if *probes >= budget || !cand.validate() {
+            return false;
+        }
+        *probes += 1;
+        if still(&cand) {
+            *best = cand;
+            true
+        } else {
+            false
+        }
+    };
+    loop {
+        let before = best.op_count();
+
+        // Drop whole rounds, last first (later rounds rarely set up the
+        // failure; deleting from the end keeps round indices stable).
+        let mut r = best.rounds.len();
+        while r > 0 {
+            r -= 1;
+            if best.rounds.len() <= 1 {
+                break;
+            }
+            let mut cand = best.clone();
+            cand.rounds.remove(r);
+            try_candidate(&mut best, cand, &mut probes);
+        }
+
+        // Clear one processor's ops in one round.
+        for r in 0..best.rounds.len() {
+            for q in 0..best.params.procs {
+                if best.rounds[r][q].is_empty() {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand.rounds[r][q].clear();
+                try_candidate(&mut best, cand, &mut probes);
+            }
+        }
+
+        // Drop balanced acquire..release spans (an entire lock episode,
+        // including any rebind inside it).
+        for r in 0..best.rounds.len() {
+            for q in 0..best.params.procs {
+                let mut i = 0;
+                while i < best.rounds[r][q].len() {
+                    let ops = &best.rounds[r][q];
+                    if let FuzzOp::Acquire { lock, .. } = ops[i] {
+                        let close = ops[i..].iter().position(
+                            |op| matches!(op, FuzzOp::Release { lock: l, .. } if *l == lock),
+                        );
+                        if let Some(off) = close {
+                            let mut cand = best.clone();
+                            cand.rounds[r][q].drain(i..=i + off);
+                            if try_candidate(&mut best, cand, &mut probes) {
+                                continue; // same i now points past the span
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+
+        // Drop individual non-structural ops.
+        for r in 0..best.rounds.len() {
+            for q in 0..best.params.procs {
+                let mut i = 0;
+                while i < best.rounds[r][q].len() {
+                    let droppable = matches!(
+                        best.rounds[r][q][i],
+                        FuzzOp::Write { .. } | FuzzOp::Read { .. } | FuzzOp::Work { .. }
+                    );
+                    if droppable {
+                        let mut cand = best.clone();
+                        cand.rounds[r][q].remove(i);
+                        if try_candidate(&mut best, cand, &mut probes) {
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+
+        if best.op_count() == before || probes >= budget {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::FuzzParams;
+    use super::*;
+
+    #[test]
+    fn shrinking_against_a_trivial_predicate_empties_the_schedule() {
+        let s = Schedule::generate(5, FuzzParams::mutant());
+        let small = shrink(&s, &|_| true, 10_000);
+        // Everything is deletable when any candidate is accepted; only
+        // the mandatory single round survives.
+        assert_eq!(small.rounds.len(), 1);
+        assert_eq!(small.op_count(), 0);
+        assert!(small.validate());
+    }
+
+    #[test]
+    fn shrinking_preserves_the_predicate_anchor() {
+        let s = Schedule::generate(6, FuzzParams::mutant());
+        // Keep any schedule that still has at least one Acquire on p0.
+        let still = |c: &Schedule| {
+            c.rounds
+                .iter()
+                .flat_map(|r| &r[0])
+                .any(|op| matches!(op, FuzzOp::Acquire { .. }))
+        };
+        if !still(&s) {
+            return; // seed produced no p0 episode; nothing to anchor
+        }
+        let small = shrink(&s, &still, 10_000);
+        assert!(still(&small));
+        assert!(small.op_count() <= s.op_count());
+        assert!(small.validate());
+    }
+}

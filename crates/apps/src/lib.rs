@@ -20,11 +20,21 @@
 //! factorization error) and returns a deterministic summary so runs can be
 //! compared across backends and processor counts.
 
+//! Beyond the paper's batch kernels, the crate carries the service-scale
+//! workload family ([`kvstore`], [`socialgraph`], [`taskqueue`] — shared
+//! scaffolding in [`service`]) and a cross-backend differential fuzzer
+//! ([`fuzz`]) that turns backend agreement into a standing oracle.
+
 pub mod cholesky;
+pub mod fuzz;
+pub mod kvstore;
 pub mod matmul;
 pub mod mutants;
 pub mod quicksort;
+pub mod service;
+pub mod socialgraph;
 pub mod sor;
+pub mod taskqueue;
 pub mod water;
 
 mod driver;

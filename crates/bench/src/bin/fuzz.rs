@@ -1,0 +1,153 @@
+//! The cross-backend differential fuzzer CLI.
+//!
+//! Generates seeded random entry-consistency schedules and runs each on
+//! every applicable backend (all six when the seed's shape is
+//! single-processor, the five data-moving ones otherwise), asserting
+//! identical final-memory digests, schedule-determined counters, clean
+//! dynamic-checker reports, and bit-exact reruns. Any divergence is
+//! shrunk while it still reproduces and printed as a replayable
+//! schedule, and the process exits nonzero.
+//!
+//! A second mode (`--mutants`) proves the planted-bug side: for each
+//! `MutantKind`, schedules are mutated until the dynamic checker flags
+//! the expected finding on the expected processor, and the reproducer is
+//! shrunk and printed.
+//!
+//! Flags:
+//!
+//! * `--seeds N` — differential seeds to sweep (default 500).
+//! * `--start N` — first seed (default 0); the sweep covers
+//!   `start..start+seeds`.
+//! * `--seed N` — replay exactly one seed (prints the schedule).
+//! * `--mutants` — run the planted-mutant proof instead.
+//! * `--smoke` — the CI gate: a short differential sweep that still
+//!   crosses all six backends, plus one planted mutant of each kind.
+
+use std::process::ExitCode;
+
+use midway_apps::fuzz::{apply_mutation, catch_mutant, differential, shrink, FuzzParams, Schedule};
+use midway_apps::mutants::MutantKind;
+use midway_bench::BenchArgs;
+
+/// Sweeps `start..start+count` and reports divergences; returns the
+/// number of failing seeds.
+fn sweep(start: u64, count: u64, verbose: bool) -> u64 {
+    let mut failures = 0;
+    for seed in start..start + count {
+        let s = Schedule::generate(seed, FuzzParams::for_seed(seed));
+        assert!(
+            s.validate(),
+            "seed {seed}: generator emitted an invalid schedule"
+        );
+        let divergences = differential(&s);
+        if divergences.is_empty() {
+            if verbose || (seed + 1) % 50 == 0 {
+                eprintln!(
+                    "seed {seed}: ok ({} ops, {} procs)",
+                    s.op_count(),
+                    s.params.procs
+                );
+            }
+            continue;
+        }
+        failures += 1;
+        println!("== seed {seed} DIVERGED ==");
+        for d in &divergences {
+            println!("  {d}");
+        }
+        // Shrink while any divergence reproduces, then print the
+        // replayable reproducer.
+        let small = shrink(&s, &|c| !differential(c).is_empty(), 300);
+        println!("minimized reproducer ({} ops):", small.op_count());
+        println!("{small}");
+    }
+    failures
+}
+
+/// Proves each mutant kind is caught; returns the kinds that were not.
+fn prove_mutants(max_seeds: u64) -> Vec<MutantKind> {
+    let mut missed = Vec::new();
+    for kind in MutantKind::ALL {
+        match catch_mutant(kind, max_seeds) {
+            Some((seed, small)) => {
+                println!(
+                    "{}: caught at seed {seed}, minimized to {} ops",
+                    kind.label(),
+                    small.op_count()
+                );
+                println!("{small}");
+            }
+            None => {
+                println!(
+                    "{}: NOT caught within {max_seeds} seeds — checker or planting regressed",
+                    kind.label()
+                );
+                missed.push(kind);
+            }
+        }
+    }
+    missed
+}
+
+fn main() -> ExitCode {
+    let args = BenchArgs::parse();
+    let smoke = args.flag("--smoke");
+    let num = |flag: &str| -> Option<u64> {
+        args.value(flag).map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| panic!("{flag} takes a number"))
+        })
+    };
+
+    if let Some(seed) = num("--seed") {
+        let s = Schedule::generate(seed, FuzzParams::for_seed(seed));
+        println!("{s}");
+        if args.flag("--mutants") {
+            for kind in MutantKind::ALL {
+                if let Some(m) = apply_mutation(&s, kind, seed) {
+                    println!("with {} planted:\n{m}", kind.label());
+                }
+            }
+            return ExitCode::SUCCESS;
+        }
+        let divergences = differential(&s);
+        for d in &divergences {
+            println!("  {d}");
+        }
+        return if divergences.is_empty() {
+            println!("seed {seed}: backends agree");
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    if args.flag("--mutants") {
+        let missed = prove_mutants(num("--seeds").unwrap_or(50));
+        return if missed.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    // The sweep (smoke: 30 seeds starting at 0 — seeds 9, 19 and 29 are
+    // single-processor, so the standalone backend is in the matrix —
+    // plus one planted mutant of each kind).
+    let start = num("--start").unwrap_or(0);
+    let count = num("--seeds").unwrap_or(if smoke { 30 } else { 500 });
+    println!("== differential fuzz: seeds {start}..{} ==", start + count);
+    let failures = sweep(start, count, args.flag("--verbose"));
+    let mut missed = Vec::new();
+    if smoke {
+        println!("== planted mutants ==");
+        missed = prove_mutants(25);
+    }
+    if failures == 0 && missed.is_empty() {
+        println!("all {count} seeds agree across backends");
+        ExitCode::SUCCESS
+    } else {
+        println!("{failures} seeds diverged");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,278 @@
+//! The service-workload sweep: the three service applications (sharded
+//! KV store, social graph, task queue) driven from idle to saturation.
+//!
+//! The load knob is `clients` — concurrent clients multiplexed onto each
+//! processor. Per-op think time is `think_cycles / clients`, so one
+//! client per processor is an idle service (long gaps between requests)
+//! and sixteen is saturation (requests back to back). Total work is held
+//! fixed across the sweep (`ops_per_client × clients` constant), so
+//! cells are comparable: the same requests, packed ever more densely.
+//! Reported per cell: modelled seconds, throughput in ops per modelled
+//! second, messages, data per processor, and mean lock acquires — the
+//! curve from idle to saturation shows where synchronization begins to
+//! dominate service time.
+//!
+//! Flags beyond the standard [`BenchArgs`] set:
+//!
+//! * `--smoke` — the CI gate: small inputs, RT only, two processors,
+//!   clients 1 and 4. Seconds, not minutes.
+//! * `--procs N` — processors (default 8, the paper's cluster).
+//! * `--clients-list 1,2,4,8,16` — client counts (default shown).
+//! * `--apps kvstore,socialgraph,taskqueue` — applications.
+//! * `--backends rt,vm,blast,twin-all,hybrid` — backends (default all
+//!   five data-moving ones).
+//!
+//! The default output path is `BENCH_svc.json` at the repository root
+//! (override with `--out`).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use midway_apps::{kvstore, socialgraph, taskqueue, AppKind};
+use midway_bench::{BenchArgs, Json};
+use midway_core::{BackendKind, Counters, MidwayConfig};
+use midway_stats::{fmt_f64, TextTable};
+
+struct Outcome {
+    app: AppKind,
+    backend: BackendKind,
+    clients: usize,
+    think_per_op: u64,
+    total_ops: u64,
+    host_secs: f64,
+    sim_secs: f64,
+    finish_cycles: u64,
+    messages: u64,
+    data_kb_per_proc: f64,
+    avg_acquires: f64,
+    verified: bool,
+}
+
+/// Reduces one run to the fields the sweep reports.
+fn summarize<R>(
+    run: midway_core::MidwayRun<R>,
+    verified: bool,
+) -> (Vec<Counters>, midway_core::VirtualTime, u64, f64, f64, bool) {
+    let data_kb = run.data_kb_per_proc();
+    let sim_secs = run.exec_secs();
+    (
+        run.counters,
+        run.finish_time,
+        run.messages,
+        data_kb,
+        sim_secs,
+        verified,
+    )
+}
+
+/// Runs one cell: `app` under `backend` with `clients` concurrent
+/// clients per processor, total work fixed by `base_ops` (the
+/// one-client ops-per-client budget).
+fn run_cell(
+    app: AppKind,
+    backend: BackendKind,
+    procs: usize,
+    clients: usize,
+    smoke: bool,
+) -> Outcome {
+    let cfg = MidwayConfig::new(procs, backend);
+    let start = Instant::now();
+    let (svc_base, r) = match app {
+        AppKind::KvStore => {
+            let mut p = if smoke {
+                kvstore::Params::small()
+            } else {
+                kvstore::Params::paper()
+            };
+            let total = p.svc.clients * p.svc.ops_per_client;
+            p.svc.clients = clients;
+            p.svc.ops_per_client = (total / clients).max(1);
+            let run = kvstore::run(cfg, p);
+            let verified = kvstore::verified(&run.results);
+            (p.svc, summarize(run, verified))
+        }
+        AppKind::SocialGraph => {
+            let mut p = if smoke {
+                socialgraph::Params::small()
+            } else {
+                socialgraph::Params::paper()
+            };
+            let total = p.svc.clients * p.svc.ops_per_client;
+            p.svc.clients = clients;
+            p.svc.ops_per_client = (total / clients).max(1);
+            let run = socialgraph::run(cfg, p);
+            let verified = socialgraph::verified(&run.results);
+            (p.svc, summarize(run, verified))
+        }
+        AppKind::TaskQueue => {
+            let mut p = if smoke {
+                taskqueue::Params::small()
+            } else {
+                taskqueue::Params::paper()
+            };
+            let total = p.svc.clients * p.svc.ops_per_client;
+            p.svc.clients = clients;
+            p.svc.ops_per_client = (total / clients).max(1);
+            let run = taskqueue::run(cfg, p);
+            let verified = taskqueue::verified(&run.results);
+            (p.svc, summarize(run, verified))
+        }
+        other => panic!("{other:?} is not a service application"),
+    };
+    let (counters, finish, messages, data_kb, sim_secs, verified) = r;
+    let total_ops = (procs * svc_base.clients * svc_base.ops_per_client) as u64;
+    Outcome {
+        app,
+        backend,
+        clients,
+        think_per_op: svc_base.think_per_op(),
+        total_ops,
+        host_secs: start.elapsed().as_secs_f64(),
+        sim_secs,
+        finish_cycles: finish.cycles(),
+        messages,
+        data_kb_per_proc: data_kb,
+        avg_acquires: Counters::average(&counters).avg(|c| c.lock_acquires),
+        verified,
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let smoke = args.flag("--smoke");
+
+    let procs: usize = if smoke {
+        2
+    } else {
+        args.value("--procs")
+            .map(|s| s.parse().expect("--procs takes a number"))
+            .unwrap_or(8)
+    };
+    let clients_list: Vec<usize> = if smoke {
+        vec![1, 4]
+    } else {
+        match args.value("--clients-list") {
+            None => vec![1, 2, 4, 8, 16],
+            Some(s) => s
+                .split(',')
+                .map(|p| p.trim().parse().expect("--clients-list takes numbers"))
+                .collect(),
+        }
+    };
+    let apps: Vec<AppKind> = match args.value("--apps") {
+        None => AppKind::service().to_vec(),
+        Some(s) => s
+            .split(',')
+            .map(|raw| {
+                let raw = raw.trim();
+                AppKind::service()
+                    .into_iter()
+                    .find(|k| k.label() == raw)
+                    .unwrap_or_else(|| panic!("unknown service app {raw:?}"))
+            })
+            .collect(),
+    };
+    let backends: Vec<BackendKind> = if smoke {
+        vec![BackendKind::Rt]
+    } else {
+        match args.value("--backends") {
+            None => BackendKind::DATA.to_vec(),
+            Some(s) => s
+                .split(',')
+                .map(|raw| {
+                    let raw = raw.trim();
+                    BackendKind::ALL
+                        .into_iter()
+                        .find(|b| b.cli_name() == raw)
+                        .unwrap_or_else(|| panic!("unknown backend {raw:?}"))
+                })
+                .collect(),
+        }
+    };
+
+    println!("== service sweep ==");
+    println!(
+        "procs: {procs}, clients: {clients_list:?}, inputs: {}",
+        if smoke { "small" } else { "paper" }
+    );
+    println!();
+
+    let mut outcomes = Vec::new();
+    for &app in &apps {
+        for &backend in &backends {
+            for &clients in &clients_list {
+                eprintln!(
+                    "running {} under {} at {clients} clients/proc ...",
+                    app.label(),
+                    backend.cli_name()
+                );
+                let o = run_cell(app, backend, procs, clients, smoke);
+                assert!(
+                    o.verified,
+                    "{} failed verification under {:?} at {clients} clients",
+                    app.label(),
+                    backend
+                );
+                outcomes.push(o);
+            }
+        }
+    }
+
+    let mut t = TextTable::new(&[
+        "app", "backend", "clients", "think/op", "ops", "sim s", "ops/s", "msgs", "KB/proc",
+        "acq/proc",
+    ])
+    .left_cols(2);
+    for o in &outcomes {
+        t.row(&[
+            o.app.label().to_string(),
+            o.backend.cli_name().to_string(),
+            o.clients.to_string(),
+            o.think_per_op.to_string(),
+            o.total_ops.to_string(),
+            fmt_f64(o.sim_secs, 3),
+            fmt_f64(o.total_ops as f64 / o.sim_secs.max(1e-9), 0),
+            o.messages.to_string(),
+            fmt_f64(o.data_kb_per_proc, 1),
+            fmt_f64(o.avg_acquires, 0),
+        ]);
+    }
+    println!("{t}");
+
+    let cells: Vec<Json> = outcomes
+        .iter()
+        .map(|o| {
+            Json::obj([
+                ("app", Json::str(o.app.label())),
+                ("backend", Json::str(o.backend.cli_name())),
+                ("clients", Json::U64(o.clients as u64)),
+                ("think_per_op", Json::U64(o.think_per_op)),
+                ("total_ops", Json::U64(o.total_ops)),
+                ("verified", Json::Bool(o.verified)),
+                ("host_secs", Json::F64(o.host_secs)),
+                ("sim_secs", Json::F64(o.sim_secs)),
+                (
+                    "ops_per_sim_sec",
+                    Json::F64(o.total_ops as f64 / o.sim_secs.max(1e-9)),
+                ),
+                ("finish_cycles", Json::U64(o.finish_cycles)),
+                ("messages", Json::U64(o.messages)),
+                ("data_kb_per_proc", Json::F64(o.data_kb_per_proc)),
+                ("avg_lock_acquires", Json::F64(o.avg_acquires)),
+            ])
+        })
+        .collect();
+    let json = Json::obj([
+        ("harness", Json::str("svc_sweep")),
+        ("procs", Json::U64(procs as u64)),
+        ("inputs", Json::str(if smoke { "small" } else { "paper" })),
+        ("cells", Json::Arr(cells)),
+    ]);
+    let path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_svc.json"));
+    midway_bench::write_json(&path, &json)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("\nresults written to {}", path.display());
+}

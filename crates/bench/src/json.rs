@@ -469,6 +469,26 @@ mod tests {
     }
 
     #[test]
+    fn committed_svc_results_round_trip_and_trailing_garbage_is_rejected() {
+        // The sweep writer's real output is the parser's contract: the
+        // committed BENCH_svc.json must parse, re-render byte-identically
+        // (parse ∘ render = id on writer output), and carry the swept
+        // grid; the same document with trailing garbage must not parse.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_svc.json");
+        let text = std::fs::read_to_string(path).expect("BENCH_svc.json is committed");
+        let doc = Json::parse(&text).expect("committed results parse");
+        assert_eq!(doc.render(), text, "render is parse's inverse");
+        assert_eq!(doc.get("harness").and_then(Json::as_str), Some("svc_sweep"));
+        assert!(!doc.get("cells").unwrap().items().is_empty());
+
+        for junk in ["{}", " null", "]"] {
+            let bad = format!("{text}{junk}");
+            let err = Json::parse(&bad).expect_err("trailing garbage must fail");
+            assert!(err.contains("trailing"), "wrong error: {err}");
+        }
+    }
+
+    #[test]
     fn accessors_are_total() {
         let v = Json::parse("{\"n\": 3}").unwrap();
         assert_eq!(v.get("n").and_then(Json::as_u64), Some(3));

@@ -136,10 +136,15 @@ fn fault_plan_from_args(args: &[String]) -> Result<Option<FaultPlan>, String> {
 }
 
 fn parse_app(s: &str) -> Result<AppKind, String> {
-    AppKind::all()
+    AppKind::every()
         .into_iter()
         .find(|k| k.label() == s)
-        .ok_or_else(|| format!("unknown app {s:?} (use water|quicksort|matrix|sor|cholesky)"))
+        .ok_or_else(|| {
+            format!(
+                "unknown app {s:?} (use water|quicksort|matrix|sor|cholesky|\
+                 kvstore|socialgraph|taskqueue)"
+            )
+        })
 }
 
 fn parse_scale(s: &str) -> Result<Scale, String> {
@@ -181,8 +186,9 @@ fn summarize(run: &MidwayRun<()>, cfg: &MidwayConfig) {
 fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
     let apps = match value(args, "--app")?.as_deref() {
         Some("all") => AppKind::all().to_vec(),
+        Some("service") => AppKind::service().to_vec(),
         Some(s) => vec![parse_app(s)?],
-        None => return Err("record needs --app (or --app all)".to_string()),
+        None => return Err("record needs --app (or --app all|service)".to_string()),
     };
     let backend = value(args, "--backend")?
         .as_deref()

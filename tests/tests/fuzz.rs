@@ -1,0 +1,71 @@
+//! The differential fuzzer as a test suite: a fixed band of seeds must
+//! agree across every backend, and every planted mutant kind must be
+//! caught with a minimized, still-failing reproducer.
+
+use midway_apps::fuzz::{
+    apply_mutation, backends_for, differential, mutant_caught, shrink, FuzzParams, Schedule,
+};
+use midway_apps::mutants::MutantKind;
+
+/// A band of fixed seeds (covering single- and multi-processor shapes)
+/// runs divergence-free on every applicable backend.
+#[test]
+fn fixed_seed_band_agrees_across_backends() {
+    for seed in 0..20 {
+        let s = Schedule::generate(seed, FuzzParams::for_seed(seed));
+        assert!(s.validate(), "seed {seed}: invalid schedule generated");
+        let divergences = differential(&s);
+        assert!(
+            divergences.is_empty(),
+            "seed {seed} diverged: {}",
+            divergences
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+}
+
+/// The single-processor shapes include the standalone backend in their
+/// matrix; multi-processor shapes cover the five data-moving ones.
+#[test]
+fn backend_matrix_includes_standalone_for_single_proc_seeds() {
+    let solo = FuzzParams::for_seed(9);
+    assert_eq!(solo.procs, 1);
+    assert_eq!(backends_for(solo.procs).len(), 6);
+    let multi = FuzzParams::for_seed(0);
+    assert!(multi.procs >= 2);
+    assert_eq!(backends_for(multi.procs).len(), 5);
+}
+
+/// Every planted mutant kind is caught by the dynamic checker within a
+/// small seed budget, and the shrunk reproducer still fails.
+#[test]
+fn every_mutant_kind_is_caught_and_shrinks() {
+    for kind in MutantKind::ALL {
+        let base = Schedule::generate(0, FuzzParams::mutant());
+        let mutated = apply_mutation(&base, kind, 0).expect("mutation applies to the base");
+        assert!(
+            mutated.validate(),
+            "{}: mutant schedule invalid",
+            kind.label()
+        );
+        assert!(
+            mutant_caught(&mutated),
+            "{}: planted bug not caught at seed 0",
+            kind.label()
+        );
+        let small = shrink(&mutated, &mutant_caught, 150);
+        assert!(
+            mutant_caught(&small),
+            "{}: shrunk reproducer no longer caught",
+            kind.label()
+        );
+        assert!(
+            small.op_count() <= mutated.op_count(),
+            "{}: shrink grew the schedule",
+            kind.label()
+        );
+    }
+}

@@ -71,9 +71,25 @@ cargo run --release -q -p midway-bench --bin crash_sweep -- \
 echo "==> hostperf smoke"
 # The host-performance basket at smoke size: exercises the chunked diff /
 # dirtybit-scan / digest hot paths and both backends end to end, and
-# emits the wall-clock JSON (no baseline comparison at smoke scale).
+# emits the wall-clock JSON with the per-layer attribution counters
+# (scheduler dispatches/batching, calendar-ring vs heap pops, deque and
+# buffer-pool recycling). No baseline comparison at smoke scale.
 cargo run --release -q -p midway-bench --bin hostperf -- \
     --smoke --out "$smoke/hostperf.json"
+
+echo "==> hostperf regression gate (vs committed BENCH_hostperf.json)"
+# Full-scale basket, one rep, gated against the committed numbers: if
+# the geometric-mean speedup over the committed host_secs drops below
+# the gate threshold (0.7), the gate exits nonzero. The committed
+# numbers are min-of-reps on a quiet host while this is one rep mid-CI,
+# and host speed drifts between sessions, so the threshold is set to
+# catch structural hot-path regressions (2-5x on event-dense cells)
+# rather than measurement noise; it only runs when the committed JSON
+# exists.
+if [ -f BENCH_hostperf.json ]; then
+    cargo run --release -q -p midway-bench --bin hostperf -- \
+        --reps 1 --gate BENCH_hostperf.json --out "$smoke/hostperf_gate.json"
+fi
 
 echo "==> real-transport loopback smoke"
 # sor under RT and VM over actual loopback TCP sockets (one OS thread per
@@ -108,9 +124,10 @@ fi
 
 echo "==> service workload smoke (sweep + record/replay)"
 # The three service apps (kvstore, socialgraph, taskqueue) at small
-# scale under RT, swept across two client counts; every cell self-
-# verifies inside the harness. Then one recorded kvstore run must
-# replay bit-for-bit like any batch kernel.
+# scale under RT, swept across two client counts, plus the saturation
+# knee search (binary search on clients/proc to the 2x-latency point);
+# every cell self-verifies inside the harness. Then one recorded
+# kvstore run must replay bit-for-bit like any batch kernel.
 cargo run --release -q -p midway-bench --bin svc_sweep -- \
     --smoke --out "$smoke/svc.json"
 cargo run --release -q -p midway-replay --bin trace -- \

@@ -159,6 +159,12 @@ pub struct AppOutcome {
     /// The dynamic checker's report (present when the run was configured
     /// with `MidwayConfig::check`).
     pub check: Option<midway_core::CheckReport>,
+    /// Host-side scheduler counters (event-engine perf attribution; all
+    /// zeros on real transports).
+    pub sched: midway_core::SchedStats,
+    /// Per-processor detector buffer-pool `(hits, misses)` — host-side
+    /// allocation attribution, never part of the modelled cost.
+    pub alloc: Vec<(u64, u64)>,
 }
 
 impl AppOutcome {
@@ -196,6 +202,8 @@ fn erase<R>(kind: AppKind, run: MidwayRun<R>, verified: bool) -> AppOutcome {
         traces: run.traces,
         blueprint: run.blueprint,
         check: run.check,
+        sched: run.sched,
+        alloc: run.alloc,
     }
 }
 

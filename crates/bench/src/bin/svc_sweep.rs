@@ -21,6 +21,13 @@
 //! * `--apps kvstore,socialgraph,taskqueue` — applications.
 //! * `--backends rt,vm,blast,twin-all,hybrid` — backends (default all
 //!   five data-moving ones).
+//! * `--find-knee` — after the sweep, binary-search the client count to
+//!   the saturation knee per (app, backend): the smallest clients/proc
+//!   whose client-perceived latency (`clients × finish_cycles /
+//!   total_ops`) exceeds `--knee-factor` (default 2.0) times the
+//!   one-client latency, probing up to `--knee-max` clients (default 64).
+//!   The knee points land in a `knees` array in the JSON. Smoke runs
+//!   always exercise the search (capped at 8 clients).
 //!
 //! The default output path is `BENCH_svc.json` at the repository root
 //! (override with `--out`).
@@ -137,6 +144,80 @@ fn run_cell(
     }
 }
 
+/// Client-perceived mean latency in cycles per op: `clients` concurrent
+/// streams share each processor, so a stream observes the whole-proc op
+/// rate divided by its share.
+fn latency_cycles(o: &Outcome) -> f64 {
+    o.clients as f64 * o.finish_cycles as f64 / (o.total_ops as f64).max(1.0)
+}
+
+/// One (app, backend) saturation point found by [`find_knee`].
+struct Knee {
+    app: AppKind,
+    backend: BackendKind,
+    base_latency: f64,
+    target_latency: f64,
+    /// Smallest probed client count at or past the target latency, if the
+    /// search found one within `max_clients`.
+    knee_clients: Option<usize>,
+    /// Every `(clients, latency)` probe the search made, in probe order.
+    probes: Vec<(usize, f64)>,
+}
+
+/// Binary-searches the smallest clients/proc whose client-perceived
+/// latency reaches `factor ×` the one-client latency. Latency grows with
+/// multiplexing once synchronization saturates, so bisection over the
+/// client count converges on the knee with O(log max) runs.
+fn find_knee(
+    app: AppKind,
+    backend: BackendKind,
+    procs: usize,
+    smoke: bool,
+    factor: f64,
+    max_clients: usize,
+) -> Knee {
+    let mut probes = Vec::new();
+    let mut probe = |clients: usize| -> f64 {
+        eprintln!(
+            "knee probe: {} under {} at {clients} clients/proc ...",
+            app.label(),
+            backend.cli_name()
+        );
+        let o = run_cell(app, backend, procs, clients, smoke);
+        assert!(o.verified, "knee probe failed verification");
+        let lat = latency_cycles(&o);
+        probes.push((clients, lat));
+        lat
+    };
+    let base = probe(1);
+    let target = factor * base;
+    // Establish the bracket: if even `max_clients` stays under the
+    // target, the service never saturates within range.
+    let knee_clients = if probe(max_clients) < target {
+        None
+    } else {
+        // Invariant: latency(lo) < target <= latency(hi).
+        let (mut lo, mut hi) = (1usize, max_clients);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if probe(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(hi)
+    };
+    Knee {
+        app,
+        backend,
+        base_latency: base,
+        target_latency: target,
+        knee_clients,
+        probes,
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let smoke = args.flag("--smoke");
@@ -239,6 +320,54 @@ fn main() {
     }
     println!("{t}");
 
+    // Saturation search: always exercised in smoke (cheap at small
+    // inputs), otherwise opt-in.
+    let knee_factor: f64 = args
+        .value("--knee-factor")
+        .map(|s| s.parse().expect("--knee-factor takes a number"))
+        .unwrap_or(2.0);
+    let knee_max: usize = if smoke {
+        8
+    } else {
+        args.value("--knee-max")
+            .map(|s| s.parse().expect("--knee-max takes a number"))
+            .unwrap_or(64)
+    };
+    let knees: Vec<Knee> = if args.flag("--find-knee") || smoke {
+        apps.iter()
+            .flat_map(|&app| {
+                backends.iter().map(move |&backend| {
+                    find_knee(app, backend, procs, smoke, knee_factor, knee_max)
+                })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    if !knees.is_empty() {
+        let mut kt = TextTable::new(&[
+            "app",
+            "backend",
+            "lat@1 (cyc/op)",
+            "target",
+            "knee clients",
+            "probes",
+        ])
+        .left_cols(2);
+        for k in &knees {
+            kt.row(&[
+                k.app.label().to_string(),
+                k.backend.cli_name().to_string(),
+                fmt_f64(k.base_latency, 0),
+                fmt_f64(k.target_latency, 0),
+                k.knee_clients
+                    .map_or_else(|| format!(">{knee_max}"), |c| c.to_string()),
+                k.probes.len().to_string(),
+            ]);
+        }
+        println!("{kt}");
+    }
+
     let cells: Vec<Json> = outcomes
         .iter()
         .map(|o| {
@@ -262,11 +391,43 @@ fn main() {
             ])
         })
         .collect();
+    let knees_json: Vec<Json> = knees
+        .iter()
+        .map(|k| {
+            Json::obj([
+                ("app", Json::str(k.app.label())),
+                ("backend", Json::str(k.backend.cli_name())),
+                ("base_latency_cycles", Json::F64(k.base_latency)),
+                ("target_latency_cycles", Json::F64(k.target_latency)),
+                ("knee_factor", Json::F64(knee_factor)),
+                ("max_clients_probed", Json::U64(knee_max as u64)),
+                (
+                    "knee_clients",
+                    k.knee_clients.map_or(Json::Null, |c| Json::U64(c as u64)),
+                ),
+                (
+                    "probes",
+                    Json::Arr(
+                        k.probes
+                            .iter()
+                            .map(|&(c, lat)| {
+                                Json::obj([
+                                    ("clients", Json::U64(c as u64)),
+                                    ("latency_cycles", Json::F64(lat)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
     let json = Json::obj([
         ("harness", Json::str("svc_sweep")),
         ("procs", Json::U64(procs as u64)),
         ("inputs", Json::str(if smoke { "small" } else { "paper" })),
         ("cells", Json::Arr(cells)),
+        ("knees", Json::Arr(knees_json)),
     ]);
     let path = args
         .out

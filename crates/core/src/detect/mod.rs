@@ -152,6 +152,13 @@ pub trait WriteDetector {
 
     /// Applies the merged updates received at a barrier release.
     fn apply_barrier(&mut self, cx: &mut DetectCx<'_>, set: &UpdateSet);
+
+    /// Buffer-pool accounting: `(hits, misses)` — item buffers recycled
+    /// from the detector's freelist vs. freshly allocated. Purely host-side
+    /// attribution; never feeds the cost model or the Table 2 counters.
+    fn alloc_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 impl BackendKind {

@@ -16,6 +16,9 @@ pub struct RtDetector {
     /// Per lock: the logical time as of which this processor's cache of the
     /// lock's data is consistent.
     last_seen: Vec<u64>,
+    /// Item-buffer freelist: buffers of applied grants feed the next
+    /// collection, so steady-state transfers allocate nothing.
+    pool: midway_mem::BufPool,
 }
 
 impl RtDetector {
@@ -24,6 +27,7 @@ impl RtDetector {
         RtDetector {
             dirty: rt::DirtyMap::new(&spec.layout),
             last_seen: vec![EPOCH; spec.locks.len()],
+            pool: midway_mem::BufPool::new(),
         }
     }
 }
@@ -62,13 +66,14 @@ impl WriteDetector for RtDetector {
         } else {
             EPOCH
         };
-        let scan = rt::collect(
+        let scan = rt::collect_pooled(
             cx.store,
             &mut self.dirty,
             &cx.spec.layout,
             binding,
             last_seen,
             now,
+            &mut self.pool,
         );
         (cx.charge)(
             Category::WriteCollect,
@@ -110,6 +115,11 @@ impl WriteDetector for RtDetector {
         self.last_seen[lock] = consist_time;
         binding.install(sent);
         cx.clock.observe(consist_time);
+        // The grant has been applied; its item buffers feed the next
+        // collection instead of going back to the allocator.
+        for item in set.items {
+            self.pool.put(item.data);
+        }
     }
 
     fn collect_barrier(
@@ -120,13 +130,14 @@ impl WriteDetector for RtDetector {
         _partitioned: bool,
     ) -> UpdateSet {
         let now = cx.clock.tick();
-        let res = rt::collect(
+        let res = rt::collect_pooled(
             cx.store,
             &mut self.dirty,
             &cx.spec.layout,
             scan,
             last_consist,
             now,
+            &mut self.pool,
         );
         (cx.charge)(
             Category::WriteCollect,
@@ -147,5 +158,9 @@ impl WriteDetector for RtDetector {
         );
         cx.counters.dirtybits_updated += res.dirtybits_updated;
         cx.counters.redundant_bytes_received += res.bytes_redundant;
+    }
+
+    fn alloc_stats(&self) -> (u64, u64) {
+        (self.pool.hits, self.pool.misses)
     }
 }

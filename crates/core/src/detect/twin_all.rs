@@ -2,6 +2,7 @@
 //! at every transfer, never fault.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use midway_mem::{Addr, LocalStore, PAGE_SHIFT, PAGE_SIZE};
 use midway_proto::{vm, Binding, SeenToken, Update, UpdateItem, UpdateSet};
@@ -57,11 +58,11 @@ impl WriteDetector for TwinAllDetector {
         st.incarnation = st.history.newest().unwrap_or(st.incarnation) + 1;
         let set = self.collect(cx, binding);
         let st = &mut self.locks[lock];
-        st.history.push(Update {
+        st.history.push(Arc::new(Update {
             incarnation: st.incarnation,
             set,
             full: false,
-        });
+        }));
         let bound_bytes = binding.data_bytes();
         let chain = if seen.1 == binding.version() {
             st.history.since(seen.0)
@@ -80,19 +81,20 @@ impl WriteDetector for TwinAllDetector {
             }
         } else {
             let incarnation = self.locks[lock].incarnation;
-            let full = vm::snapshot(cx.store, binding);
+            // Shared between history and payload — see `VmDetector::full_send`.
+            let full = Arc::new(Update {
+                incarnation,
+                set: vm::snapshot(cx.store, binding),
+                full: true,
+            });
             cx.counters.full_data_sends += 1;
             (cx.charge)(
                 Category::Protocol,
-                cx.cost.copy_cycles(full.data_bytes() as usize, false),
+                cx.cost.copy_cycles(full.set.data_bytes() as usize, false),
             );
             let st = &mut self.locks[lock];
             st.history.clear();
-            st.history.push(Update {
-                incarnation,
-                set: full.clone(),
-                full: true,
-            });
+            st.history.push(Arc::clone(&full));
             GrantPayload::Vm {
                 updates: Vec::new(),
                 full: Some(full),
@@ -120,7 +122,11 @@ impl WriteDetector for TwinAllDetector {
                 // (§3.5); incoming bytes are both applied and patched into
                 // the always-present twins.
                 let mut bytes = 0;
-                for set in full.iter().chain(updates.iter().map(|u| &u.set)) {
+                for set in full
+                    .iter()
+                    .map(|u| &u.set)
+                    .chain(updates.iter().map(|u| &u.set))
+                {
                     bytes += twin_all_apply(&mut self.twins, cx.store, cx.spec, set);
                 }
                 (cx.charge)(
@@ -135,11 +141,7 @@ impl WriteDetector for TwinAllDetector {
                 st.incarnation = incarnation;
                 if let Some(full) = full {
                     st.history.clear();
-                    st.history.push(Update {
-                        incarnation,
-                        set: full,
-                        full: true,
-                    });
+                    st.history.push(full);
                 } else {
                     st.history.absorb(&updates);
                 }
@@ -208,18 +210,37 @@ fn twin_all_collect(
                 cx.cost.page_diff_cycles(diff.run_count(), len / 4),
             );
             cx.counters.pages_diffed += 1;
+            // Intersect the diff runs with the bound ranges in place,
+            // emitting items directly and refreshing the twin as we go —
+            // no intermediate restricted `PageDiff` (see `vm::collect`).
             let bound = binding.ranges_in_page(region_id, page);
-            let restricted = diff.restrict(&bound);
-            for run in &restricted.runs {
-                set.items.push(UpdateItem {
-                    addr: page_base.raw() + run.offset as u64,
-                    data: run.data.clone(),
-                    ts: 0,
-                });
+            let mut j = 0usize;
+            for run in &diff.runs {
+                let run_end = run.offset + run.data.len();
+                while j < bound.len() && bound[j].end <= run.offset {
+                    j += 1;
+                }
+                for range in &bound[j..] {
+                    if range.start >= run_end {
+                        break;
+                    }
+                    let lo = run.offset.max(range.start);
+                    let hi = run_end.min(range.end);
+                    if lo < hi {
+                        let data = &run.data[lo - run.offset..hi - run.offset];
+                        set.items.push(UpdateItem {
+                            addr: page_base.raw() + lo as u64,
+                            data: data.to_vec(),
+                            ts: 0,
+                        });
+                        // Refresh the twin so the next diff is incremental.
+                        let end = hi.min(twin.len());
+                        if lo < end {
+                            twin[lo..end].copy_from_slice(&data[..end - lo]);
+                        }
+                    }
+                }
             }
-            // Refresh the twin so the next diff is incremental.
-            let end = len.min(twin.len());
-            restricted.apply(&mut twin[..end]);
         }
     }
     set.items.sort_by_key(|i| i.addr);

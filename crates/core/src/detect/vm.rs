@@ -1,6 +1,8 @@
 //! VM-DSM detector: page protection, twins, diffs and per-lock
 //! incarnation histories (paper §3.3–§3.4).
 
+use std::sync::Arc;
+
 use midway_mem::{Addr, MemClass, PageTable, PAGE_SHIFT, PAGE_SIZE};
 use midway_proto::{vm, Binding, SeenToken, Update, UpdateSet};
 use midway_sim::Category;
@@ -54,19 +56,22 @@ impl VmDetector {
     /// fallback when the incarnation history cannot serve a requester.
     fn full_send(&mut self, cx: &mut DetectCx<'_>, lock: usize, binding: &Binding) -> GrantPayload {
         let incarnation = self.locks[lock].incarnation;
-        let full = vm::snapshot(cx.store, binding);
+        // One Arc'd snapshot is shared between this owner's history and the
+        // outgoing payload — the old deep copy of the full bound data is
+        // now a reference-count bump.
+        let full = Arc::new(Update {
+            incarnation,
+            set: vm::snapshot(cx.store, binding),
+            full: true,
+        });
         cx.counters.full_data_sends += 1;
         (cx.charge)(
             Category::Protocol,
-            cx.cost.copy_cycles(full.data_bytes() as usize, false),
+            cx.cost.copy_cycles(full.set.data_bytes() as usize, false),
         );
         let st = &mut self.locks[lock];
         st.history.clear();
-        st.history.push(Update {
-            incarnation,
-            set: full.clone(),
-            full: true,
-        });
+        st.history.push(Arc::clone(&full));
         GrantPayload::Vm {
             updates: Vec::new(),
             full: Some(full),
@@ -130,11 +135,11 @@ impl WriteDetector for VmDetector {
         cx.counters.pages_diffed += col.pages_diffed;
         cx.counters.pages_write_protected += col.pages_cleaned;
         let st = &mut self.locks[lock];
-        st.history.push(Update {
+        st.history.push(Arc::new(Update {
             incarnation: st.incarnation,
             set: col.update,
             full: false,
-        });
+        }));
 
         let bound_bytes = binding.data_bytes();
         let chain = if seen.1 == binding.version() {
@@ -179,7 +184,11 @@ impl WriteDetector for VmDetector {
             panic!("non-VM grant on VM node");
         };
         let mut applied = vm::VmApply::default();
-        for set in full.iter().chain(updates.iter().map(|u| &u.set)) {
+        for set in full
+            .iter()
+            .map(|u| &u.set)
+            .chain(updates.iter().map(|u| &u.set))
+        {
             let a = vm::apply(cx.store, &mut self.pages, set);
             applied.bytes_applied += a.bytes_applied;
             applied.twin_bytes_updated += a.twin_bytes_updated;
@@ -196,13 +205,10 @@ impl WriteDetector for VmDetector {
         st.last_seen = (incarnation, binding.version());
         st.incarnation = incarnation;
         if let Some(full) = full {
-            // The full snapshot stands in for the whole history.
+            // The full snapshot stands in for the whole history; the Arc
+            // it arrived in is shared, not copied.
             st.history.clear();
-            st.history.push(Update {
-                incarnation,
-                set: full,
-                full: true,
-            });
+            st.history.push(full);
         } else {
             st.history.absorb(&updates);
         }

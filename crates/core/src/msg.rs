@@ -23,11 +23,17 @@ pub enum GrantPayload {
     },
     /// VM-DSM: the incarnation-ordered updates the requester is missing, or
     /// the full bound data when the history cannot serve it.
+    ///
+    /// Updates are `Arc`-shared with the sender's lock history (and, after
+    /// the grant lands, with the receiver's): building and absorbing a
+    /// grant moves reference counts, not item buffers. Wire-size accounting
+    /// is unchanged — each hop still charges the full serialized size.
     Vm {
         /// Missing incarnations, oldest first (empty when `full` is used).
-        updates: Vec<Update>,
-        /// Full bound data fallback.
-        full: Option<UpdateSet>,
+        updates: Vec<Arc<Update>>,
+        /// Full bound data fallback (always has `full == true`; its
+        /// incarnation matches the payload's `incarnation` field).
+        full: Option<Arc<Update>>,
         /// The incarnation the requester is current as of after applying.
         incarnation: u64,
         /// The lock's current binding.
@@ -50,7 +56,7 @@ impl GrantPayload {
             GrantPayload::Rt { set, .. } => set.data_bytes(),
             GrantPayload::Vm { updates, full, .. } => {
                 updates.iter().map(|u| u.set.data_bytes()).sum::<u64>()
-                    + full.as_ref().map_or(0, |s| s.data_bytes())
+                    + full.as_ref().map_or(0, |u| u.set.data_bytes())
             }
             GrantPayload::Flat { set, .. } => set.data_bytes(),
         }
@@ -68,7 +74,7 @@ impl GrantPayload {
                 ..
             } => {
                 updates.iter().map(|u| u.wire_size()).sum::<u64>()
-                    + full.as_ref().map_or(0, |s| s.wire_size())
+                    + full.as_ref().map_or(0, |u| u.set.wire_size())
                     + binding.wire_size()
                     + 8
             }
@@ -284,16 +290,16 @@ mod tests {
     fn vm_payload_sums_updates_and_full() {
         let p = GrantPayload::Vm {
             updates: vec![
-                Update {
+                Arc::new(Update {
                     incarnation: 1,
                     set: set(16),
                     full: false,
-                },
-                Update {
+                }),
+                Arc::new(Update {
                     incarnation: 2,
                     set: set(8),
                     full: false,
-                },
+                }),
             ],
             full: None,
             incarnation: 2,

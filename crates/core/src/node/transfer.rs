@@ -139,8 +139,8 @@ fn payload_ranges(payload: &GrantPayload) -> Vec<(u64, usize)> {
             for u in updates {
                 push_set(&u.set);
             }
-            if let Some(set) = full {
-                push_set(set);
+            if let Some(u) = full {
+                push_set(&u.set);
             }
         }
     }

@@ -47,6 +47,12 @@ pub struct MidwayRun<R> {
     /// strictly off-clock, so every other field is bit-for-bit identical
     /// with it on or off.
     pub check: Option<midway_check::CheckReport>,
+    /// Host-side scheduler counters (event-engine perf attribution; all
+    /// zeros on real transports, which have no virtual-time scheduler).
+    pub sched: midway_sim::SchedStats,
+    /// Per-processor detector buffer-pool `(hits, misses)` — host-side
+    /// allocation attribution, never part of the modelled cost.
+    pub alloc: Vec<(u64, u64)>,
 }
 
 impl<R> MidwayRun<R> {
@@ -95,6 +101,7 @@ type SessionOut<R> = (
     u64,
     Option<Vec<TraceOp>>,
     Option<midway_check::CheckLog>,
+    (u64, u64),
 );
 
 /// One processor's whole life, on any transport: build the node, run the
@@ -120,6 +127,7 @@ where
     proc.node.finalize(proc.h);
     let digest = proc.node.store.digest();
     let check_log = proc.node.check.take();
+    let alloc = proc.node.alloc_stats();
     (
         r,
         proc.node.counters,
@@ -127,7 +135,18 @@ where
         digest,
         proc.rec.take(),
         check_log,
+        alloc,
     )
+}
+
+/// Cluster-level accounting carried from a finished cluster run into
+/// [`assemble`]: the virtual finish time, the delivered-message count,
+/// and the host-side scheduler statistics (zeroed on the real
+/// transport, which has no simulator scheduler).
+struct ClusterAccounting {
+    finish_time: VirtualTime,
+    messages: u64,
+    sched: midway_sim::SchedStats,
 }
 
 /// Assembles per-processor session outputs plus cluster-level accounting
@@ -138,8 +157,7 @@ fn assemble<R>(
     blueprint: Option<SpecBlueprint>,
     raw: Vec<SessionOut<R>>,
     reports: Vec<ProcReport>,
-    finish_time: VirtualTime,
-    messages: u64,
+    acct: ClusterAccounting,
 ) -> MidwayRun<R> {
     let mut results = Vec::with_capacity(raw.len());
     let mut counters = Vec::with_capacity(raw.len());
@@ -147,7 +165,8 @@ fn assemble<R>(
     let mut store_digests = Vec::with_capacity(raw.len());
     let mut traces = Vec::new();
     let mut check_logs = Vec::new();
-    for (r, c, l, d, t, k) in raw {
+    let mut alloc = Vec::with_capacity(raw.len());
+    for (r, c, l, d, t, k, a) in raw {
         results.push(r);
         counters.push(c);
         link.push(l);
@@ -158,6 +177,7 @@ fn assemble<R>(
         if let Some(k) = k {
             check_logs.push(k.into_events());
         }
+        alloc.push(a);
     }
     let check = cfg
         .check
@@ -166,14 +186,16 @@ fn assemble<R>(
         results,
         counters,
         reports,
-        finish_time,
-        messages,
+        finish_time: acct.finish_time,
+        messages: acct.messages,
         link,
         store_digests,
         cfg,
         traces,
         blueprint,
         check,
+        sched: acct.sched,
+        alloc,
     }
 }
 
@@ -229,8 +251,11 @@ impl Midway {
             blueprint,
             out.results,
             out.reports,
-            out.finish_time,
-            out.messages_delivered,
+            ClusterAccounting {
+                finish_time: out.finish_time,
+                messages: out.messages_delivered,
+                sched: out.sched,
+            },
         ))
     }
 
@@ -285,8 +310,11 @@ impl Midway {
             blueprint,
             out.results,
             out.reports,
-            out.finish_time,
-            out.messages_delivered,
+            ClusterAccounting {
+                finish_time: out.finish_time,
+                messages: out.messages_delivered,
+                sched: midway_sim::SchedStats::default(),
+            },
         ))
     }
 }

@@ -117,13 +117,16 @@ impl Wire for GrantPayload {
                 out.push(2);
                 put_u32(out, updates.len() as u32);
                 for u in updates {
-                    encode_update(u, out);
+                    encode_update(u.as_ref(), out);
                 }
+                // Only the full snapshot's set travels: its incarnation is
+                // the payload's `incarnation` field and its full flag is
+                // implied, so the encoding matches the pre-`Arc` format.
                 match full {
                     None => out.push(0),
-                    Some(set) => {
+                    Some(u) => {
                         out.push(1);
-                        encode_set(set, out);
+                        encode_set(&u.set, out);
                     }
                 }
                 put_u64(out, *incarnation);
@@ -154,15 +157,22 @@ impl Wire for GrantPayload {
                 let n = r.u32("vm update count")? as usize;
                 let mut updates = Vec::with_capacity(n.min(1 << 16));
                 for _ in 0..n {
-                    updates.push(decode_update(r)?);
+                    updates.push(std::sync::Arc::new(decode_update(r)?));
                 }
-                let full = match r.u8("vm full flag")? {
+                let full_set = match r.u8("vm full flag")? {
                     0 => None,
                     1 => Some(decode_set(r)?),
                     t => return Err(WireError(format!("bad vm full flag {t}"))),
                 };
                 let incarnation = r.u64("vm incarnation")?;
                 let binding = decode_binding(r)?;
+                let full = full_set.map(|set| {
+                    std::sync::Arc::new(Update {
+                        incarnation,
+                        set,
+                        full: true,
+                    })
+                });
                 Ok(GrantPayload::Vm {
                     updates,
                     full,
@@ -420,18 +430,22 @@ mod tests {
             },
             GrantPayload::Vm {
                 updates: vec![
-                    Update {
+                    std::sync::Arc::new(Update {
                         incarnation: 1,
                         set: sample_set(),
                         full: false,
-                    },
-                    Update {
+                    }),
+                    std::sync::Arc::new(Update {
                         incarnation: 2,
                         set: UpdateSet::new(),
                         full: true,
-                    },
+                    }),
                 ],
-                full: Some(sample_set()),
+                full: Some(std::sync::Arc::new(Update {
+                    incarnation: 2,
+                    set: sample_set(),
+                    full: true,
+                })),
                 incarnation: 2,
                 binding: sample_binding(),
             },

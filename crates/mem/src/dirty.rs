@@ -123,11 +123,16 @@ impl DirtyBits {
         out.lines.clear();
         out.clean_reads = 0;
         out.dirty_reads = 0;
+        // 8 lines = 64 bytes of timestamps per step; the fixed-size array
+        // view drops the per-lane bounds checks so the interesting-test
+        // reduction compiles to vector compares.
         const BLOCK: usize = 8;
         let mut line = range.start;
         let end = range.end;
         while line + BLOCK <= end {
-            let block = &self.bits[line..line + BLOCK];
+            let block: &[u64; BLOCK] = self.bits[line..line + BLOCK]
+                .try_into()
+                .expect("BLOCK lines");
             let mut any = false;
             for &v in block {
                 any |= v.wrapping_sub(1) >= last_seen;

@@ -26,6 +26,7 @@ pub mod diff;
 mod dirty;
 mod layout;
 mod paging;
+mod pool;
 mod store;
 
 pub use addr::{
@@ -34,4 +35,5 @@ pub use addr::{
 pub use dirty::{DirtyBits, ScanOutcome, StoreKind, Template, DIRTY, EPOCH};
 pub use layout::{Alloc, Layout, LayoutBuilder, MemClass, RegionDesc, RegionId};
 pub use paging::{PageTable, WriteAccess};
+pub use pool::BufPool;
 pub use store::LocalStore;

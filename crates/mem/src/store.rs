@@ -117,13 +117,24 @@ impl LocalStore {
         const PRIME: u64 = 0x0000_0100_0000_01b3;
         // FNV-1a folds a zero byte as `hash ^= 0; hash *= PRIME`, i.e. a
         // bare multiply — so a run of n zero bytes is one multiply by
-        // PRIME^n, which lets both all-zero chunks of materialized regions
+        // PRIME^n, which lets all-zero blocks of materialized regions
         // and whole unmaterialized regions skip the byte loop while
-        // producing the exact same digest.
+        // producing the exact same digest. The block test runs 64 bytes
+        // at a time as eight OR-reduced `u64` lanes (vectorizable), with
+        // an 8-byte-chunk fallback inside a mixed block.
         const PRIME8: u64 = {
             let mut p = 1u64;
             let mut i = 0;
             while i < 8 {
+                p = p.wrapping_mul(PRIME);
+                i += 1;
+            }
+            p
+        };
+        const PRIME64: u64 = {
+            let mut p = 1u64;
+            let mut i = 0;
+            while i < 64 {
                 p = p.wrapping_mul(PRIME);
                 i += 1;
             }
@@ -153,7 +164,30 @@ impl LocalStore {
             }
             match slot {
                 Some(region) => {
-                    let mut chunks = region.chunks_exact(8);
+                    let mut blocks = region.chunks_exact(64);
+                    for block in &mut blocks {
+                        let block: &[u8; 64] = block.try_into().expect("64 bytes");
+                        let mut any = 0u64;
+                        for l in 0..8 {
+                            any |= u64::from_ne_bytes(
+                                block[l * 8..l * 8 + 8].try_into().expect("8 bytes"),
+                            );
+                        }
+                        if any == 0 {
+                            hash = hash.wrapping_mul(PRIME64);
+                            continue;
+                        }
+                        for chunk in block.chunks_exact(8) {
+                            if u64::from_ne_bytes(chunk.try_into().expect("8 bytes")) == 0 {
+                                hash = hash.wrapping_mul(PRIME8);
+                            } else {
+                                for &b in chunk {
+                                    eat(&mut hash, b);
+                                }
+                            }
+                        }
+                    }
+                    let mut chunks = blocks.remainder().chunks_exact(8);
                     for chunk in &mut chunks {
                         if u64::from_ne_bytes(chunk.try_into().expect("8 bytes")) == 0 {
                             hash = hash.wrapping_mul(PRIME8);

@@ -120,6 +120,49 @@ fn chunked_compute_matches_reference() {
     }
 }
 
+/// Pins the widened compute at exact block seams: lengths placed around
+/// the 64-byte lane width and 8-byte word width, with changes at the
+/// first byte, the last byte, and straddling each seam — the places an
+/// off-by-one in the lane/tail split would hide.
+#[test]
+fn block_seam_lengths_match_reference() {
+    let mut rng = SplitMix64::new(0xd1ff_0007);
+    let lens = [
+        1usize, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 71, 72, 73, 127, 128, 129, 191, 192,
+        193, 255, 256, 257, 4095, 4096,
+    ];
+    for &len in &lens {
+        let twin: Vec<u8> = (0..len).map(|_| rng.next_below(256) as u8).collect();
+        let mut positions = vec![0, len - 1, len / 2];
+        // Every lane/word seam inside the page, plus a span straddling it.
+        for seam in (8..len).step_by(8) {
+            positions.push(seam - 1);
+            positions.push(seam);
+        }
+        for pos in positions {
+            let mut cur = twin.clone();
+            cur[pos] ^= 0x5A;
+            assert_eq!(
+                PageDiff::compute(&cur, &twin),
+                PageDiff::compute_reference(&cur, &twin),
+                "len {len}, single change at {pos}"
+            );
+        }
+        // A dirty span straddling the 64-byte lane seam (when present).
+        if len > 68 {
+            let mut cur = twin.clone();
+            for b in &mut cur[60..68] {
+                *b ^= 0xFF;
+            }
+            assert_eq!(
+                PageDiff::compute(&cur, &twin),
+                PageDiff::compute_reference(&cur, &twin),
+                "len {len}, span straddling the lane seam"
+            );
+        }
+    }
+}
+
 /// The chunked `DirtyBits::scan` is equivalent to the line-at-a-time
 /// reference: same lines sent, same read counts, same lazy stamping — over
 /// random dirtybit arrays with mixed dirty / stamped / clean lines and

@@ -7,6 +7,8 @@
 //! for whom the concatenated updates would exceed the bound data size —
 //! receives the full bound data instead.
 
+use std::sync::Arc;
+
 use midway_mem::diff::PageDiff;
 use midway_mem::{Addr, Layout, LocalStore, PageTable, PAGE_SHIFT};
 
@@ -71,25 +73,50 @@ pub fn collect(
             PageDiff::compute_into(&mut diff, current, twin);
             out.pages_diffed += 1;
             out.diff_runs.push((diff.run_count(), len / 4));
+            // Intersect the diff runs with the bound ranges in place —
+            // emitting `UpdateItem`s directly instead of materialising an
+            // intermediate restricted `PageDiff` (which would copy every
+            // run once into the restriction and once more into the item).
             let bound = binding.ranges_in_page(region_id, page);
-            let restricted = diff.restrict(&bound);
-            for run in &restricted.runs {
-                out.update.items.push(UpdateItem {
-                    addr: page_base.raw() + run.offset as u64,
-                    data: run.data.clone(),
-                    ts: 0,
-                });
+            let first_item = out.update.items.len();
+            let mut restricted_bytes = 0usize;
+            let mut j = 0usize;
+            for run in &diff.runs {
+                let run_end = run.offset + run.data.len();
+                while j < bound.len() && bound[j].end <= run.offset {
+                    j += 1;
+                }
+                for range in &bound[j..] {
+                    if range.start >= run_end {
+                        break;
+                    }
+                    let lo = run.offset.max(range.start);
+                    let hi = run_end.min(range.end);
+                    if lo < hi {
+                        restricted_bytes += hi - lo;
+                        out.update.items.push(UpdateItem {
+                            addr: page_base.raw() + lo as u64,
+                            data: run.data[lo - run.offset..hi - run.offset].to_vec(),
+                            ts: 0,
+                        });
+                    }
+                }
             }
-            if diff.changed_bytes() == restricted.changed_bytes() {
+            if diff.changed_bytes() == restricted_bytes {
                 pages.clean(region_id, page);
                 out.pages_cleaned += 1;
-            } else {
+            } else if restricted_bytes > 0 {
                 // Some modified words belong to other synchronization
                 // objects; fold the shipped part into the twin so it is not
                 // shipped again, and leave the page dirty.
                 if let Some(twin) = pages.twin_mut(region_id, page) {
-                    let end = len.min(twin.len());
-                    restricted.apply(&mut twin[..end]);
+                    for item in &out.update.items[first_item..] {
+                        let start = (item.addr - page_base.raw()) as usize;
+                        let end = (start + item.data.len()).min(twin.len());
+                        if start < end {
+                            twin[start..end].copy_from_slice(&item.data[..end - start]);
+                        }
+                    }
                 }
             }
         }
@@ -153,9 +180,14 @@ pub fn apply(store: &mut LocalStore, pages: &mut PageTable, set: &UpdateSet) -> 
 /// lock" — but, like Midway, we do not save them all: the history is a
 /// bounded contiguous suffix, and requesters who need more receive the
 /// full bound data.
+///
+/// Entries are reference-counted: the same `Update` is simultaneously in
+/// this history, in in-flight grant payloads, and (after a grant) in the
+/// requester's history — `since`/`absorb` share the data instead of
+/// deep-copying every item buffer at each hop.
 #[derive(Clone, Debug)]
 pub struct LockHistory {
-    updates: std::collections::VecDeque<Update>,
+    updates: std::collections::VecDeque<Arc<Update>>,
     cap: usize,
 }
 
@@ -169,7 +201,7 @@ impl LockHistory {
     }
 
     /// Records the update of a new incarnation (must be increasing).
-    pub fn push(&mut self, update: Update) {
+    pub fn push(&mut self, update: Arc<Update>) {
         if let Some(last) = self.updates.back() {
             assert!(
                 update.incarnation > last.incarnation,
@@ -183,15 +215,16 @@ impl LockHistory {
     }
 
     /// Absorbs updates received with a grant (they extend this processor's
-    /// known history).
-    pub fn absorb(&mut self, received: &[Update]) {
+    /// known history). Only the reference counts move; the update data
+    /// itself is shared with the payload they arrived in.
+    pub fn absorb(&mut self, received: &[Arc<Update>]) {
         for u in received {
             let newer = self
                 .updates
                 .back()
                 .is_none_or(|last| u.incarnation > last.incarnation);
             if newer {
-                self.push(u.clone());
+                self.push(Arc::clone(u));
             }
         }
     }
@@ -199,13 +232,14 @@ impl LockHistory {
     /// The updates a requester at `last_seen` needs: the contiguous chain
     /// `last_seen+1 ..= current` if retained, or — when the oldest retained
     /// entry is a full snapshot — everything from that snapshot onward (a
-    /// snapshot subsumes all earlier incarnations).
-    pub fn since(&self, last_seen: u64) -> Option<Vec<Update>> {
+    /// snapshot subsumes all earlier incarnations). Returned by reference
+    /// count: building a grant payload copies no item data.
+    pub fn since(&self, last_seen: u64) -> Option<Vec<Arc<Update>>> {
         let newest = self.updates.back()?.incarnation;
         if last_seen >= newest {
             return Some(Vec::new());
         }
-        let needed: Vec<Update> = self
+        let needed: Vec<Arc<Update>> = self
             .updates
             .iter()
             .filter(|u| u.incarnation > last_seen)
@@ -342,10 +376,12 @@ mod tests {
 
     #[test]
     fn history_serves_contiguous_suffixes_only() {
-        let upd = |inc: u64| Update {
-            incarnation: inc,
-            set: UpdateSet::new(),
-            full: false,
+        let upd = |inc: u64| {
+            Arc::new(Update {
+                incarnation: inc,
+                set: UpdateSet::new(),
+                full: false,
+            })
         };
         let mut h = LockHistory::new(4);
         for inc in 1..=6 {
@@ -361,10 +397,12 @@ mod tests {
 
     #[test]
     fn history_absorbs_received_updates() {
-        let upd = |inc: u64| Update {
-            incarnation: inc,
-            set: UpdateSet::new(),
-            full: false,
+        let upd = |inc: u64| {
+            Arc::new(Update {
+                incarnation: inc,
+                set: UpdateSet::new(),
+                full: false,
+            })
         };
         let mut h = LockHistory::new(8);
         h.push(upd(3));

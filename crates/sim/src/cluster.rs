@@ -158,6 +158,8 @@ pub struct RunOutcome<R> {
     pub finish_time: VirtualTime,
     /// Total messages delivered by the scheduler.
     pub messages_delivered: u64,
+    /// Host-side scheduler counters (event-engine perf attribution).
+    pub sched: crate::sched::SchedStats,
 }
 
 /// A simulated processor, handed to the per-processor closure.
@@ -475,6 +477,7 @@ impl Cluster {
             reports,
             finish_time,
             messages_delivered: sched.delivered(),
+            sched: sched.stats(),
         })
     }
 }

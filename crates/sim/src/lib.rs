@@ -44,6 +44,7 @@ mod cluster;
 mod event;
 mod fault;
 mod net;
+mod queue;
 mod rng;
 mod sched;
 mod time;
@@ -53,4 +54,5 @@ pub use cluster::{Cluster, ClusterConfig, ProcHandle, ProcReport, RunOutcome, Si
 pub use fault::{CrashEvent, FaultDecision, FaultPlan, FaultStats, MAX_CRASHES};
 pub use net::NetModel;
 pub use rng::SplitMix64;
+pub use sched::SchedStats;
 pub use time::VirtualTime;

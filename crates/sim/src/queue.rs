@@ -1,0 +1,332 @@
+//! The scheduler's pending-event queue: a bucketed calendar ring with a
+//! binary-heap overflow.
+//!
+//! The conservative scheduler pops events in nondecreasing `(time, src,
+//! seq)` order, and almost every event is posted a fixed wire delay or
+//! timer ahead of the current virtual time — hundreds to a few hundred
+//! thousand cycles. A calendar queue exploits that: events within the
+//! *near horizon* (256 buckets of 4096 cycles ≈ one million cycles) go
+//! into an unsorted ring bucket indexed by delivery time, found again by
+//! an occupancy-bitmap scan from the floor bucket and a linear min-scan of
+//! one bucket. Push is O(1); pop touches only the events sharing one
+//! 4096-cycle window instead of re-heapifying the whole queue.
+//!
+//! Everything else — events beyond the horizon (long timers, crash
+//! schedules) and stragglers posted *behind* the floor (possible only for
+//! sources whose clock lags the last delivery, e.g. post-quiescence
+//! wake-ups) — falls back to a plain `BinaryHeap`. Each pop compares the
+//! ring minimum with the heap head, so the merged order is exactly the
+//! total `(time, src, seq)` order of a single heap; the differential
+//! tests below pin that down.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::event::Event;
+
+/// log2 of the bucket width in cycles.
+const BUCKET_SHIFT: u32 = 12;
+/// Ring size; `NUM_BUCKETS << BUCKET_SHIFT` cycles of near horizon.
+const NUM_BUCKETS: usize = 256;
+/// Occupancy bitmap words.
+const WORDS: usize = NUM_BUCKETS / 64;
+
+/// A pending-event priority queue with the same pop order as
+/// `BinaryHeap<Reverse<Event<M>>>`.
+pub(crate) struct EventQueue<M> {
+    /// The near ring: unsorted buckets of events within the horizon.
+    buckets: Vec<Vec<Event<M>>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; WORDS],
+    /// Events currently in the ring.
+    near_len: usize,
+    /// Lower bound on every event in the ring: the largest delivery time
+    /// popped so far (dispatch order is nondecreasing).
+    floor: u64,
+    /// Overflow order: beyond-horizon and behind-floor events.
+    far: BinaryHeap<Reverse<Event<M>>>,
+    /// Pops served from the ring.
+    pub near_pops: u64,
+    /// Pops served from the overflow heap.
+    pub far_pops: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> EventQueue<M> {
+        EventQueue {
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+            near_len: 0,
+            floor: 0,
+            far: BinaryHeap::new(),
+            near_pops: 0,
+            far_pops: 0,
+        }
+    }
+
+    fn bucket_of(t: u64) -> usize {
+        ((t >> BUCKET_SHIFT) % NUM_BUCKETS as u64) as usize
+    }
+
+    /// Whether delivery time `t` may live in the ring: not behind the
+    /// floor, and within `NUM_BUCKETS` buckets of the floor's bucket (so
+    /// ring position is monotone in time and each bucket holds one lap).
+    fn in_near_window(&self, t: u64) -> bool {
+        t >= self.floor && (t >> BUCKET_SHIFT) - (self.floor >> BUCKET_SHIFT) < NUM_BUCKETS as u64
+    }
+
+    /// Whether no events are pending (test oracle; the scheduler detects
+    /// emptiness through `pop() == None`).
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.near_len == 0 && self.far.is_empty()
+    }
+
+    pub fn push(&mut self, ev: Event<M>) {
+        let t = ev.deliver_at.cycles();
+        if self.in_near_window(t) {
+            let b = Self::bucket_of(t);
+            self.buckets[b].push(ev);
+            self.occupied[b / 64] |= 1u64 << (b % 64);
+            self.near_len += 1;
+        } else {
+            self.far.push(Reverse(ev));
+        }
+    }
+
+    /// The first occupied bucket at ring distance `>= 0` from `start`,
+    /// scanning the bitmap a word at a time.
+    fn next_occupied(&self, start: usize) -> Option<usize> {
+        let (w0, b0) = (start / 64, start % 64);
+        let masked = self.occupied[w0] & (!0u64 << b0);
+        if masked != 0 {
+            return Some(w0 * 64 + masked.trailing_zeros() as usize);
+        }
+        for i in 1..=WORDS {
+            let wi = (w0 + i) % WORDS;
+            // The wrapped-around tail of the start word covers only the
+            // bits below `b0`.
+            let mask = if i == WORDS { !(!0u64 << b0) } else { !0u64 };
+            let w = self.occupied[wi] & mask;
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Position `(bucket, index)` of the ring's minimal event.
+    fn near_min_pos(&self) -> Option<(usize, usize)> {
+        if self.near_len == 0 {
+            return None;
+        }
+        let b = self
+            .next_occupied(Self::bucket_of(self.floor))
+            .expect("near_len > 0 implies an occupied bucket");
+        let v = &self.buckets[b];
+        let mut best = 0;
+        for i in 1..v.len() {
+            if v[i] < v[best] {
+                best = i;
+            }
+        }
+        Some((b, best))
+    }
+
+    /// The minimal pending event under `(time, src, seq)`, without
+    /// removing it.
+    pub fn peek(&self) -> Option<&Event<M>> {
+        let near = self.near_min_pos().map(|(b, i)| &self.buckets[b][i]);
+        let far = self.far.peek().map(|Reverse(e)| e);
+        match (near, far) {
+            (None, f) => f,
+            (n, None) => n,
+            (Some(n), Some(f)) => Some(if f < n { f } else { n }),
+        }
+    }
+
+    /// Removes and returns the minimal pending event.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        let near = self.near_min_pos();
+        let from_far = match (near, self.far.peek()) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some((b, i)), Some(Reverse(f))) => *f < self.buckets[b][i],
+        };
+        let ev = if from_far {
+            self.far_pops += 1;
+            let Some(Reverse(ev)) = self.far.pop() else {
+                unreachable!("peeked heap head vanished")
+            };
+            ev
+        } else {
+            let (b, i) = near.expect("checked above");
+            self.near_pops += 1;
+            self.near_len -= 1;
+            let ev = self.buckets[b].swap_remove(i);
+            if self.buckets[b].is_empty() {
+                self.occupied[b / 64] &= !(1u64 << (b % 64));
+            }
+            ev
+        };
+        // Behind-floor stragglers (from the heap) must not move the floor
+        // backwards: ring membership was decided against the old floor.
+        self.floor = self.floor.max(ev.deliver_at.cycles());
+        ev.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::VirtualTime;
+
+    fn ev(t: u64, src: usize, seq: u64) -> Event<u32> {
+        Event {
+            deliver_at: VirtualTime(t),
+            src,
+            seq,
+            dst: 0,
+            msg: (t % 1000) as u32,
+        }
+    }
+
+    /// Deterministic xorshift so the differential tests cover varied
+    /// interleavings without a random-number dependency.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    /// Runs the same push/pop schedule through the calendar queue and a
+    /// plain `BinaryHeap`, asserting identical pop sequences.
+    fn differential(seed: u64, ops: usize, spread: u64) {
+        let mut rng = Rng(seed);
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut h: BinaryHeap<Reverse<Event<u32>>> = BinaryHeap::new();
+        let mut now = 0u64; // mirrors the scheduler's virtual time
+        let mut seq = 0u64;
+        for _ in 0..ops {
+            let r = rng.next();
+            if !r.is_multiple_of(3) || h.is_empty() {
+                // Post: usually ahead of `now`, sometimes far ahead
+                // (beyond the ring horizon), occasionally *behind* `now`
+                // (the post-quiescence straggler case).
+                let delay = match r % 16 {
+                    0 => (r >> 8) % (16 * spread), // beyond-horizon tail
+                    1 => 0,
+                    _ => (r >> 8) % spread,
+                };
+                let t = if r % 32 == 2 {
+                    now.saturating_sub(delay)
+                } else {
+                    now + delay
+                };
+                let e = ev(t, (r % 7) as usize, seq);
+                seq += 1;
+                q.push(ev(t, e.src, e.seq));
+                h.push(Reverse(e));
+            } else {
+                let Reverse(expect) = h.pop().expect("non-empty");
+                let got = q.pop().expect("queues agree on emptiness");
+                assert_eq!(
+                    (got.deliver_at, got.src, got.seq),
+                    (expect.deliver_at, expect.src, expect.seq),
+                    "pop order diverged"
+                );
+                now = now.max(got.deliver_at.cycles());
+            }
+        }
+        // Drain: remaining contents must agree too.
+        while let Some(Reverse(expect)) = h.pop() {
+            let got = q.pop().expect("queues agree on emptiness");
+            assert_eq!(
+                (got.deliver_at, got.src, got.seq),
+                (expect.deliver_at, expect.src, expect.seq)
+            );
+        }
+        assert!(q.is_empty());
+        assert!(q.peek().is_none());
+    }
+
+    #[test]
+    fn matches_binary_heap_at_wire_delay_scale() {
+        // Spread ~ the ATM wire delays: everything lands in the ring.
+        differential(0x9E37_79B9, 4000, 20_000);
+    }
+
+    #[test]
+    fn matches_binary_heap_at_timer_scale() {
+        // Spread ~ the retransmit timer: bucket laps and horizon
+        // crossings both occur.
+        differential(0xDEAD_BEEF, 4000, 400_000);
+    }
+
+    #[test]
+    fn matches_binary_heap_with_heavy_far_traffic() {
+        // Spread far beyond the horizon: most events overflow to the heap.
+        differential(0x1234_5678, 2000, 8_000_000);
+    }
+
+    #[test]
+    fn behind_floor_pushes_pop_in_global_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(ev(10_000, 0, 0));
+        q.push(ev(20_000, 0, 1));
+        let first = q.pop().unwrap();
+        assert_eq!(first.deliver_at.cycles(), 10_000);
+        // The floor is now 10_000; a straggler behind it must still pop
+        // before the 20_000 event.
+        q.push(ev(5_000, 1, 2));
+        assert_eq!(q.peek().unwrap().deliver_at.cycles(), 5_000);
+        let straggler = q.pop().unwrap();
+        assert_eq!((straggler.deliver_at.cycles(), straggler.src), (5_000, 1));
+        assert_eq!(q.pop().unwrap().deliver_at.cycles(), 20_000);
+        assert!(q.pop().is_none());
+        assert!(q.far_pops >= 1, "straggler served from the overflow heap");
+    }
+
+    #[test]
+    fn same_key_fields_break_ties_by_src_then_seq() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(ev(100, 2, 0));
+        q.push(ev(100, 0, 5));
+        q.push(ev(100, 0, 3));
+        q.push(ev(100, 1, 1));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.src, e.seq))
+            .collect();
+        assert_eq!(order, vec![(0, 3), (0, 5), (1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn empty_bucket_bitmap_stays_consistent() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        // Fill several buckets, drain completely, refill a lap later.
+        for i in 0..32 {
+            q.push(ev(i * 4096, 0, i));
+        }
+        for _ in 0..32 {
+            q.pop().unwrap();
+        }
+        assert!(q.is_empty());
+        for i in 0..32 {
+            q.push(ev(2_000_000 + i * 4096, 0, 100 + i));
+        }
+        let mut last = 0;
+        for _ in 0..32 {
+            let t = q.pop().unwrap().deliver_at.cycles();
+            assert!(t >= last);
+            last = t;
+        }
+        assert!(q.is_empty());
+    }
+}

@@ -24,13 +24,42 @@
 //!   delivery: anything the woken processor posts sorts at
 //!   `(t', dst, fresh seq)` with `t' >= t`, which the heap orders after
 //!   every batched `(t, src <= dst, older seq)` entry.
+//!
+//! Two host-allocation refinements ride along (see [`crate::queue`] for the
+//! event store itself): pending events live in a calendar ring instead of a
+//! binary heap, and the per-batch `VecDeque`s are recycled through a small
+//! freelist instead of being allocated per dispatch and dropped per drain.
+//! [`SchedStats`] counts what each path did, purely for host-side perf
+//! attribution — none of it feeds virtual time.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::event::Event;
+use crate::queue::EventQueue;
 use crate::time::VirtualTime;
+
+/// Most batch deques kept for reuse; beyond this they drop normally.
+const SPARE_CAP: usize = 64;
+
+/// Host-side scheduler counters for performance attribution. Purely
+/// observational: nothing here affects delivery order or virtual time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Events delivered to destination slots.
+    pub delivered: u64,
+    /// Scheduler rendezvous (dispatch calls that delivered something).
+    pub dispatches: u64,
+    /// Events delivered as batch extras — beyond the first of each batch,
+    /// so consumed without a scheduler rendezvous.
+    pub batched: u64,
+    /// Queue pops served by the calendar ring.
+    pub near_pops: u64,
+    /// Queue pops served by the overflow heap.
+    pub far_pops: u64,
+    /// Batch deques drawn from the freelist instead of freshly allocated.
+    pub deques_recycled: u64,
+}
 
 /// Lifecycle state of a simulated processor.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -123,10 +152,18 @@ pub(crate) enum Poison {
 pub(crate) struct SchedInner<M> {
     pub procs: Vec<ProcState>,
     pub running: usize,
-    pub queue: BinaryHeap<Reverse<Event<M>>>,
+    pub queue: EventQueue<M>,
     pub slots: Vec<Slot<M>>,
     pub poison: Option<Poison>,
     pub delivered: u64,
+    /// Dispatches that delivered a batch (scheduler rendezvous count).
+    dispatches: u64,
+    /// Events delivered beyond the first of their batch.
+    batched: u64,
+    /// Batch deques drawn from `spare` instead of freshly allocated.
+    recycled: u64,
+    /// Freelist of emptied batch deques, reused by the next dispatch.
+    spare: Vec<VecDeque<(VirtualTime, usize, M)>>,
     /// Processors currently in [`ProcState::Blocked`].
     blocked: ProcSet,
     /// Processors currently in [`ProcState::Draining`].
@@ -166,10 +203,14 @@ impl<M> Scheduler<M> {
             inner: Mutex::new(SchedInner {
                 procs: vec![ProcState::Running; procs],
                 running: procs,
-                queue: BinaryHeap::new(),
+                queue: EventQueue::new(),
                 slots: (0..procs).map(|_| Slot::Empty).collect(),
                 poison: None,
                 delivered: 0,
+                dispatches: 0,
+                batched: 0,
+                recycled: 0,
+                spare: Vec::new(),
                 blocked: ProcSet::new(procs),
                 draining: ProcSet::new(procs),
             }),
@@ -181,7 +222,7 @@ impl<M> Scheduler<M> {
     /// dispatch can be due yet.
     pub fn post(&self, ev: Event<M>) {
         let mut inner = self.lock();
-        inner.queue.push(Reverse(ev));
+        inner.queue.push(ev);
     }
 
     /// Blocks processor `me` until a message arrives (or, when `draining`,
@@ -200,7 +241,7 @@ impl<M> Scheduler<M> {
         if let Some(p) = &inner.poison {
             return Err(p.clone());
         }
-        if let Some(m) = Self::take_from_slot(&mut inner.slots[me]) {
+        if let Some(m) = Self::take_from_slot(&mut inner, me) {
             return Ok(Some(m));
         }
         inner.running -= 1;
@@ -223,7 +264,7 @@ impl<M> Scheduler<M> {
                 inner.slots[me] = Slot::Empty;
                 return Ok(None);
             }
-            if let Some(m) = Self::take_from_slot(&mut inner.slots[me]) {
+            if let Some(m) = Self::take_from_slot(&mut inner, me) {
                 debug_assert_eq!(inner.procs[me], ProcState::Running);
                 return Ok(Some(m));
             }
@@ -235,13 +276,21 @@ impl<M> Scheduler<M> {
         }
     }
 
-    /// Pops the next delivery from a slot batch, normalizing an emptied
-    /// batch back to `Empty`.
-    fn take_from_slot(slot: &mut Slot<M>) -> Option<(VirtualTime, usize, M)> {
-        let Slot::Msgs(q) = slot else { return None };
+    /// Pops the next delivery from `me`'s slot batch, normalizing an
+    /// emptied batch back to `Empty` and parking its deque on the
+    /// freelist for the next dispatch.
+    fn take_from_slot(inner: &mut SchedInner<M>, me: usize) -> Option<(VirtualTime, usize, M)> {
+        let Slot::Msgs(q) = &mut inner.slots[me] else {
+            return None;
+        };
         let m = q.pop_front();
         if q.is_empty() {
-            *slot = Slot::Empty;
+            let Slot::Msgs(q) = std::mem::replace(&mut inner.slots[me], Slot::Empty) else {
+                unreachable!("slot kind checked above")
+            };
+            if inner.spare.len() < SPARE_CAP {
+                inner.spare.push(q);
+            }
         }
         m
     }
@@ -300,6 +349,19 @@ impl<M> Scheduler<M> {
         self.lock().delivered
     }
 
+    /// Snapshot of the host-side attribution counters.
+    pub fn stats(&self) -> SchedStats {
+        let inner = self.lock();
+        SchedStats {
+            delivered: inner.delivered,
+            dispatches: inner.dispatches,
+            batched: inner.batched,
+            near_pops: inner.queue.near_pops,
+            far_pops: inner.queue.far_pops,
+            deques_recycled: inner.recycled,
+        }
+    }
+
     /// Records a fatal condition (first poison wins) and wakes every
     /// waiter — each processor's condvar is notified exactly once, not
     /// `procs` redundant broadcasts.
@@ -330,11 +392,16 @@ impl<M> Scheduler<M> {
             return;
         }
         match inner.queue.pop() {
-            Some(Reverse(ev)) => match inner.procs[ev.dst] {
+            Some(ev) => match inner.procs[ev.dst] {
                 ProcState::Blocked | ProcState::Draining => {
                     let dst = ev.dst;
                     let at = ev.deliver_at;
-                    let mut batch = VecDeque::with_capacity(1);
+                    let mut batch = if let Some(q) = inner.spare.pop() {
+                        inner.recycled += 1;
+                        q
+                    } else {
+                        VecDeque::with_capacity(1)
+                    };
                     batch.push_back((ev.deliver_at, ev.src, ev.msg));
                     // Batch every consecutive minimum bound for the same
                     // slot at the same instant. `src <= dst` keeps the
@@ -342,16 +409,18 @@ impl<M> Scheduler<M> {
                     // the destination posts once woken carries a fresh
                     // (higher) sequence number from `src == dst` at a time
                     // `>= at`, which sorts after everything taken here.
-                    while let Some(Reverse(next)) = inner.queue.peek() {
+                    while let Some(next) = inner.queue.peek() {
                         if next.dst != dst || next.deliver_at != at || next.src > dst {
                             break;
                         }
-                        let Some(Reverse(n)) = inner.queue.pop() else {
+                        let Some(n) = inner.queue.pop() else {
                             unreachable!("peeked event vanished")
                         };
                         batch.push_back((n.deliver_at, n.src, n.msg));
                     }
                     inner.delivered += batch.len() as u64;
+                    inner.dispatches += 1;
+                    inner.batched += batch.len() as u64 - 1;
                     inner.slots[dst] = Slot::Msgs(batch);
                     if inner.procs[dst] == ProcState::Blocked {
                         inner.blocked.remove(dst);
@@ -529,6 +598,36 @@ mod tests {
             // Heap order: (100, src 0) before (100, src 1) before (100, src 2).
             assert_eq!(got, vec![(100, 0, 20), (100, 1, 10), (100, 2, 30)]);
             assert_eq!(sched.delivered(), 3);
+            let stats = sched.stats();
+            assert_eq!(stats.delivered, 3);
+            assert_eq!(stats.dispatches, 1, "one rendezvous for the batch");
+            assert_eq!(stats.batched, 2, "two deliveries rode along");
+        });
+    }
+
+    /// An emptied batch deque is parked on the freelist and reused by the
+    /// next dispatch instead of being reallocated.
+    #[test]
+    fn drained_batch_deques_are_recycled() {
+        let sched: Scheduler<u32> = Scheduler::new(2);
+        sched.post(ev(0, 1, 50, 0, 1));
+        sched.post(ev(0, 1, 150, 1, 2));
+        std::thread::scope(|s| {
+            let p1 = s.spawn(|| {
+                let a = sched.block_recv(1, false).unwrap().unwrap();
+                let b = sched.block_recv(1, false).unwrap().unwrap();
+                sched.finish(1);
+                (a.2, b.2)
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            sched.finish(0);
+            assert_eq!(p1.join().unwrap(), (1, 2));
+            let stats = sched.stats();
+            assert_eq!(stats.dispatches, 2, "distinct instants: two dispatches");
+            assert_eq!(
+                stats.deques_recycled, 1,
+                "second dispatch reuses the first batch's deque"
+            );
         });
     }
 
